@@ -1,0 +1,317 @@
+package genomeatscale
+
+// This file is the benchmark harness required to regenerate every table and
+// figure of the paper's evaluation (Section V). Each benchmark wraps the
+// corresponding generator in internal/figures, which combines measured runs
+// of the distributed pipeline on scaled dataset proxies with cost-model
+// projections at the paper's full scale. Custom metrics expose the
+// quantities the paper reports (per-batch seconds, projected totals,
+// communication volume). `cmd/benchfigs` prints the same tables as text.
+//
+//	go test -bench=. -benchmem ./...
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"genomeatscale/internal/bitmat"
+	"genomeatscale/internal/core"
+	"genomeatscale/internal/dataset"
+	"genomeatscale/internal/figures"
+	"genomeatscale/internal/genome"
+	"genomeatscale/internal/minhash"
+	"genomeatscale/internal/semiring"
+	"genomeatscale/internal/sparse"
+	"genomeatscale/internal/synth"
+)
+
+// reportCell parses the leading float of a formatted cell ("3.2 s") and
+// reports it as a benchmark metric.
+func reportCell(b *testing.B, tab figures.Table, row, col int, unit string) {
+	b.Helper()
+	if row >= len(tab.Rows) || col >= len(tab.Rows[row]) {
+		return
+	}
+	fields := strings.Fields(tab.Rows[row][col])
+	if len(fields) == 0 {
+		return
+	}
+	if v, err := strconv.ParseFloat(fields[0], 64); err == nil {
+		b.ReportMetric(v, unit)
+	}
+}
+
+// --- Table II -----------------------------------------------------------------
+
+func BenchmarkTable2ToolComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := figures.Table2()
+		if len(tab.Rows) != 4 {
+			b.Fatal("unexpected Table II contents")
+		}
+	}
+}
+
+// --- Figure 2 -----------------------------------------------------------------
+
+func benchFigure(b *testing.B, gen func(figures.Scale) ([]figures.Table, error)) []figures.Table {
+	b.Helper()
+	var tables []figures.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tables, err = gen(figures.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tables
+}
+
+func BenchmarkFig2aKingsfordStrongScaling(b *testing.B) {
+	tables := benchFigure(b, figures.Fig2aKingsfordStrongScaling)
+	// Projected total hours at the paper's sweet-spot region (32 nodes, row 5)
+	// and measured per-batch seconds at the largest scaled rank count.
+	reportCell(b, tables[0], 5, 5, "proj-total-h@32nodes")
+	meas := tables[1]
+	reportCell(b, meas, len(meas.Rows)-1, 3, "meas-batch-s")
+}
+
+func BenchmarkFig2bBIGSIStrongScaling(b *testing.B) {
+	tables := benchFigure(b, figures.Fig2bBIGSIStrongScaling)
+	reportCell(b, tables[0], len(tables[0].Rows)-1, 5, "proj-total-d@1024nodes")
+	meas := tables[1]
+	reportCell(b, meas, len(meas.Rows)-1, 5, "meas-comm-mib")
+}
+
+func BenchmarkFig2cBatchSensitivityKingsford(b *testing.B) {
+	tables := benchFigure(b, figures.Fig2cBatchSensitivityKingsford)
+	reportCell(b, tables[0], 0, 5, "proj-total-h@16384batches")
+	reportCell(b, tables[0], len(tables[0].Rows)-1, 5, "proj-total-h@1024batches")
+}
+
+func BenchmarkFig2dBatchSensitivityBIGSI(b *testing.B) {
+	tables := benchFigure(b, figures.Fig2dBatchSensitivityBIGSI)
+	reportCell(b, tables[0], 0, 5, "proj-total-d@262144batches")
+	reportCell(b, tables[0], len(tables[0].Rows)-1, 5, "proj-total-d@16384batches")
+}
+
+func BenchmarkFig2eSyntheticStrongScaling(b *testing.B) {
+	tables := benchFigure(b, figures.Fig2eSyntheticStrongScaling)
+	reportCell(b, tables[0], 0, 5, "proj-total-h@1node")
+	reportCell(b, tables[0], len(tables[0].Rows)-1, 5, "proj-total-h@64nodes")
+}
+
+func BenchmarkFig2fSyntheticWeakScaling(b *testing.B) {
+	tables := benchFigure(b, figures.Fig2fSyntheticWeakScaling)
+	// Work-per-rank growth factor at the largest scale (×64 in the paper).
+	proj := tables[0]
+	last := proj.Rows[len(proj.Rows)-1][3]
+	if idx := strings.Index(last, "×"); idx >= 0 {
+		factor := strings.TrimSuffix(last[idx+len("×"):], ")")
+		if v, err := strconv.ParseFloat(factor, 64); err == nil {
+			b.ReportMetric(v, "work-per-rank-growth")
+		}
+	}
+}
+
+func BenchmarkFig3SparsitySweep(b *testing.B) {
+	tables := benchFigure(b, func(s figures.Scale) ([]figures.Table, error) { return figures.Fig3SparsitySweep(s) })
+	proj := tables[0]
+	reportCell(b, proj, 0, 2, "proj-total-s@p=1e-4")
+	reportCell(b, proj, len(proj.Rows)-1, 2, "proj-total-s@p=1e-2")
+}
+
+// --- Section V-D and accuracy ----------------------------------------------------
+
+func BenchmarkMCDRAMAblation(b *testing.B) {
+	var tab figures.Table
+	for i := 0; i < b.N; i++ {
+		tab = figures.MCDRAMAblation()
+	}
+	if len(tab.Rows) > 0 {
+		slow := strings.TrimSuffix(tab.Rows[0][3], "%")
+		if v, err := strconv.ParseFloat(slow, 64); err == nil {
+			b.ReportMetric(v, "slowdown-%")
+		}
+	}
+}
+
+func BenchmarkAccuracyExactVsMinHash(b *testing.B) {
+	var tab figures.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = figures.AccuracyExactVsMinHash(figures.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Worst small-sketch error on the most similar pair (last row).
+	reportCell(b, tab, len(tab.Rows)-1, 5, "minhash-error-s100")
+}
+
+// --- Ablations -----------------------------------------------------------------
+
+func BenchmarkAblationBitmask(b *testing.B) {
+	var tab figures.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = figures.AblationBitmask(figures.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCell(b, tab, 0, 2, "comm-mib-b1")
+	reportCell(b, tab, len(tab.Rows)-1, 2, "comm-mib-b64")
+}
+
+func BenchmarkAblationReplication(b *testing.B) {
+	var tab figures.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = figures.AblationReplication(figures.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCell(b, tab, 0, 5, "comm-mib-c1")
+	reportCell(b, tab, len(tab.Rows)-1, 5, "comm-mib-c8")
+}
+
+func BenchmarkAblationCompressionStats(b *testing.B) {
+	var tab figures.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = figures.CompressionStats(figures.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCell(b, tab, 0, 6, "packed-words-per-nnz")
+}
+
+// --- Kernel microbenchmarks -------------------------------------------------------
+// These cover the individual building blocks whose costs the analysis in
+// Section III-C reasons about.
+
+func benchmarkProxy(b *testing.B) *core.InMemoryDataset {
+	b.Helper()
+	ds, err := dataset.Kingsford().Generate(dataset.ScaledConfig{
+		Samples: 128, Attributes: 100_000, DensityScale: 20, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func BenchmarkSequentialPipeline(b *testing.B) {
+	ds := benchmarkProxy(b)
+	opts := core.DefaultOptions()
+	opts.BatchCount = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ComputeSequential(ds, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributedPipeline8Ranks(b *testing.B) {
+	ds := benchmarkProxy(b)
+	opts := core.DefaultOptions()
+	opts.BatchCount = 4
+	opts.Procs = 8
+	opts.Replication = 2
+	opts.SkipGather = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compute(ds, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactJaccardBaseline(b *testing.B) {
+	ds := benchmarkProxy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ExactJaccard(ds)
+	}
+}
+
+func BenchmarkPackedGramKernel(b *testing.B) {
+	rng := synth.NewRNG(2)
+	cols := 160
+	rows := 4000
+	rowsPerCol := make([][]int, cols)
+	for j := range rowsPerCol {
+		count := 200
+		seen := map[int]bool{}
+		for len(rowsPerCol[j]) < count {
+			r := rng.Intn(rows)
+			if !seen[r] {
+				seen[r] = true
+				rowsPerCol[j] = append(rowsPerCol[j], r)
+			}
+		}
+		insertionSortInts(rowsPerCol[j])
+	}
+	packed := bitmat.PackColumns(rowsPerCol, rows, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		packed.Gram()
+	}
+}
+
+func insertionSortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}
+
+func BenchmarkUncompressedGramReference(b *testing.B) {
+	rng := synth.NewRNG(2)
+	coo := sparse.NewCOO[int64](4000, 160)
+	for j := 0; j < 160; j++ {
+		for k := 0; k < 200; k++ {
+			coo.Append(rng.Intn(4000), j, 1)
+		}
+	}
+	csc := sparse.CSCFromCOO(coo, semiring.PlusInt64())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sparse.GramT(csc, semiring.PlusTimesInt64())
+	}
+}
+
+func BenchmarkKmerExtraction(b *testing.B) {
+	rng := synth.NewRNG(7)
+	seq := genome.RandomSequence(rng, 100_000)
+	opts := genome.ExtractorOptions{K: 31, Canonical: true}
+	b.SetBytes(int64(len(seq)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := genome.ExtractKmers(seq, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinHashSketch(b *testing.B) {
+	values := make([]uint64, 100_000)
+	rng := synth.NewRNG(8)
+	for i := range values {
+		values[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		minhash.MustNew(values, 1000)
+	}
+}

@@ -1,0 +1,88 @@
+// Command benchfigs regenerates the tables and figures of the paper's
+// evaluation (Section V) and prints them as text tables: Table II, Figures
+// 2a–2f, Figure 3, the MCDRAM ablation of Section V-D, the exact-vs-MinHash
+// accuracy comparison, and the two design-choice ablations from DESIGN.md.
+//
+//	benchfigs -fig all -scale small
+//	benchfigs -fig 2b  -scale medium
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"genomeatscale/internal/figures"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfigs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchfigs", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "which figure to regenerate: table2, 2a, 2b, 2c, 2d, 2e, 2f, 3, mcdram, accuracy, ablation-bitmask, ablation-replication, ablation-compression, all")
+	scaleName := fs.String("scale", "small", "measured-run scale: small or medium")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scale := figures.Small
+	switch *scaleName {
+	case "small":
+		scale = figures.Small
+	case "medium":
+		scale = figures.Medium
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	print := func(tables []figures.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+		return nil
+	}
+	single := func(t figures.Table, err error) error {
+		return print([]figures.Table{t}, err)
+	}
+
+	switch *fig {
+	case "table2":
+		return single(figures.Table2(), nil)
+	case "2a":
+		return print(figures.Fig2aKingsfordStrongScaling(scale))
+	case "2b":
+		return print(figures.Fig2bBIGSIStrongScaling(scale))
+	case "2c":
+		return print(figures.Fig2cBatchSensitivityKingsford(scale))
+	case "2d":
+		return print(figures.Fig2dBatchSensitivityBIGSI(scale))
+	case "2e":
+		return print(figures.Fig2eSyntheticStrongScaling(scale))
+	case "2f":
+		return print(figures.Fig2fSyntheticWeakScaling(scale))
+	case "3":
+		return print(figures.Fig3SparsitySweep(scale))
+	case "mcdram":
+		return single(figures.MCDRAMAblation(), nil)
+	case "accuracy":
+		return single(figures.AccuracyExactVsMinHash(scale))
+	case "ablation-bitmask":
+		return single(figures.AblationBitmask(scale))
+	case "ablation-replication":
+		return single(figures.AblationReplication(scale))
+	case "ablation-compression":
+		return single(figures.CompressionStats(scale))
+	case "all":
+		return print(figures.All(scale))
+	default:
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+}

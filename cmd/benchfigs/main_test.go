@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestRunSingleFigures(t *testing.T) {
+	// Only the cheap, deterministic figures are exercised here; the full set
+	// is covered by the root benchmark harness and internal/figures tests.
+	for _, fig := range []string{"table2", "mcdram"} {
+		if err := run([]string{"-fig", fig}); err != nil {
+			t.Errorf("fig %s: %v", fig, err)
+		}
+	}
+}
+
+func TestRunMeasuredFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured figure generation skipped in -short mode")
+	}
+	if err := run([]string{"-fig", "accuracy", "-scale", "small"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-fig", "nope"}); err == nil {
+		t.Error("unknown figure should be rejected")
+	}
+	if err := run([]string{"-scale", "huge"}); err == nil {
+		t.Error("unknown scale should be rejected")
+	}
+}

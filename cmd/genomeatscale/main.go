@@ -1,0 +1,186 @@
+// Command genomeatscale computes all-pairs Jaccard similarities and
+// distances between genomic sequencing samples given as FASTA files, using
+// the SimilarityAtScale algorithm — the Go counterpart of the paper's
+// GenomeAtScale tool.
+//
+// Each input FASTA file is treated as one data sample: its sequences are
+// decomposed into (canonical) k-mers, rare k-mers are dropped as noise, and
+// the resulting k-mer sets are compared with the distributed pipeline.
+//
+// Example:
+//
+//	genomeatscale -k 19 -min-count 1 -procs 8 -batches 4 \
+//	    -similarity sim.tsv -distance dist.tsv -newick tree.nwk sample1.fa sample2.fa ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"genomeatscale/internal/cluster"
+	"genomeatscale/internal/core"
+	"genomeatscale/internal/genome"
+	"genomeatscale/internal/output"
+	"genomeatscale/internal/sparse"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "genomeatscale:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("genomeatscale", flag.ContinueOnError)
+	k := fs.Int("k", 19, "k-mer length (1..31); the paper uses 19 for RNASeq and 31 for WGS data")
+	canonical := fs.Bool("canonical", true, "use canonical (strand-independent) k-mers")
+	minCount := fs.Int("min-count", 1, "drop k-mers occurring fewer than this many times in a sample (noise filter)")
+	procs := fs.Int("procs", 1, "number of virtual BSP ranks")
+	batches := fs.Int("batches", 1, "number of row batches of the indicator matrix")
+	maskBits := fs.Int("mask-bits", 64, "bitmask compression width b (1..64)")
+	replication := fs.Int("replication", 1, "processor-grid replication factor c")
+	simPath := fs.String("similarity", "", "write the similarity matrix to this TSV file")
+	distPath := fs.String("distance", "", "write the distance matrix to this TSV file")
+	phylipPath := fs.String("phylip", "", "write the distance matrix in PHYLIP format to this file")
+	newickPath := fs.String("newick", "", "write a neighbour-joining guide tree in Newick format to this file")
+	pairsThreshold := fs.Float64("pairs-threshold", -1, "if ≥ 0, print sample pairs with similarity at or above this threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) < 2 {
+		return fmt.Errorf("need at least two FASTA files, got %d", len(files))
+	}
+
+	sampleOpts := genome.SampleOptions{
+		ExtractorOptions: genome.ExtractorOptions{K: *k, Canonical: *canonical},
+		MinCount:         *minCount,
+	}
+	samples := make([]genome.Sample, 0, len(files))
+	for _, path := range files {
+		records, err := genome.ReadFASTAFile(path)
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		s, err := genome.BuildSampleFromRecords(name, records, sampleOpts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		samples = append(samples, s)
+		fmt.Fprintf(out, "loaded %-30s %12d distinct %d-mers\n", name, s.Cardinality(), *k)
+	}
+
+	ds, err := genome.BuildDataset(samples)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{
+		BatchCount:  *batches,
+		MaskBits:    *maskBits,
+		Procs:       *procs,
+		Replication: *replication,
+	}
+	var res *core.Result
+	if *procs > 1 {
+		res, err = core.Compute(ds, opts)
+	} else {
+		res, err = core.ComputeSequential(ds, opts)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "\ncomputed %d×%d Jaccard similarity matrix in %.3fs (%d batches)\n",
+		res.N, res.N, res.Stats.TotalSeconds, res.Stats.Batches)
+	if res.Stats.Comm != nil {
+		fmt.Fprintf(out, "communication: %d supersteps, %.2f MiB total\n",
+			res.Stats.Comm.Supersteps, float64(res.Stats.Comm.TotalBytes)/(1<<20))
+	}
+
+	if *simPath != "" {
+		if err := writeMatrixTSV(*simPath, res.Names, res.S); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "similarity matrix written to %s\n", *simPath)
+	}
+	if *distPath != "" {
+		if err := writeMatrixTSV(*distPath, res.Names, res.D); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "distance matrix written to %s\n", *distPath)
+	}
+	if *phylipPath != "" {
+		if err := output.WritePHYLIPFile(*phylipPath, res.Names, res.D); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "PHYLIP distance matrix written to %s\n", *phylipPath)
+	}
+	if *newickPath != "" {
+		tree, err := cluster.NeighborJoining(res.D, res.Names)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*newickPath, []byte(tree.Newick()+"\n"), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "guide tree written to %s\n", *newickPath)
+	}
+	if *pairsThreshold >= 0 {
+		pairs, err := output.TopPairs(res.Names, res.S, *pairsThreshold)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\n%d sample pairs with similarity ≥ %.3f:\n", len(pairs), *pairsThreshold)
+		if err := output.WritePairs(out, pairs); err != nil {
+			return err
+		}
+	}
+	if *simPath == "" && *distPath == "" {
+		printMatrix(out, res.Names, res.S)
+	}
+	return nil
+}
+
+func writeMatrixTSV(path string, names []string, m *sparse.Dense[float64]) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "sample\t%s\n", strings.Join(names, "\t"))
+	for i, name := range names {
+		cells := make([]string, m.Cols)
+		for j := 0; j < m.Cols; j++ {
+			cells[j] = fmt.Sprintf("%.6f", m.At(i, j))
+		}
+		fmt.Fprintf(f, "%s\t%s\n", name, strings.Join(cells, "\t"))
+	}
+	return nil
+}
+
+func printMatrix(out *os.File, names []string, m *sparse.Dense[float64]) {
+	fmt.Fprintf(out, "\n%-20s", "")
+	for _, n := range names {
+		fmt.Fprintf(out, " %10s", truncate(n, 10))
+	}
+	fmt.Fprintln(out)
+	for i, n := range names {
+		fmt.Fprintf(out, "%-20s", truncate(n, 20))
+		for j := range names {
+			fmt.Fprintf(out, " %10.4f", m.At(i, j))
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"genomeatscale/internal/genome"
+)
+
+// writeTestFASTA writes n related FASTA files into dir and returns their paths.
+func writeTestFASTA(t *testing.T, dir string, n int) []string {
+	t.Helper()
+	records, err := genome.GenerateFamily(genome.FamilyConfig{
+		AncestorLength: 5000,
+		Descendants:    n - 1,
+		Model:          genome.MutationModel{SubstitutionRate: 0.02},
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, rec := range records {
+		path := filepath.Join(dir, rec.ID+".fasta")
+		if err := genome.WriteFASTAFile(path, []genome.Record{rec}, 70); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	paths := writeTestFASTA(t, dir, 3)
+	simOut := filepath.Join(dir, "sim.tsv")
+	phylipOut := filepath.Join(dir, "dist.phy")
+	newickOut := filepath.Join(dir, "tree.nwk")
+	stdout, err := os.CreateTemp(dir, "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stdout.Close()
+
+	args := append([]string{
+		"-k", "13", "-procs", "2", "-batches", "2",
+		"-similarity", simOut, "-phylip", phylipOut, "-newick", newickOut,
+		"-pairs-threshold", "0.0",
+	}, paths...)
+	if err := run(args, stdout); err != nil {
+		t.Fatal(err)
+	}
+
+	sim, err := os.ReadFile(simOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(sim), "ancestor") {
+		t.Error("similarity TSV missing sample names")
+	}
+	phy, err := os.ReadFile(phylipOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(string(phy)), "3") {
+		t.Error("PHYLIP output should start with the sample count")
+	}
+	nwk, err := os.ReadFile(newickOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(string(nwk)), ";") {
+		t.Error("Newick output should end with a semicolon")
+	}
+}
+
+func TestRunRequiresTwoFiles(t *testing.T) {
+	dir := t.TempDir()
+	paths := writeTestFASTA(t, dir, 1)
+	stdout, _ := os.CreateTemp(dir, "stdout")
+	defer stdout.Close()
+	if err := run(paths, stdout); err == nil {
+		t.Error("a single input file should be rejected")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.fasta")
+	os.WriteFile(bad, []byte("not fasta at all\n"), 0o644)
+	good := writeTestFASTA(t, dir, 1)
+	stdout, _ := os.CreateTemp(dir, "stdout")
+	defer stdout.Close()
+	if err := run([]string{good[0], bad}, stdout); err == nil {
+		t.Error("malformed FASTA should be rejected")
+	}
+	if err := run([]string{"-k", "99", good[0], good[0]}, stdout); err == nil {
+		t.Error("invalid k should be rejected")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if truncate("abcdef", 3) != "abc" {
+		t.Error("truncate wrong")
+	}
+	if truncate("ab", 3) != "ab" {
+		t.Error("truncate of short string wrong")
+	}
+}
+
+func TestWriteMatrixTSVError(t *testing.T) {
+	err := writeMatrixTSV(filepath.Join(t.TempDir(), "missing-dir", "x.tsv"), nil, nil)
+	if err == nil {
+		t.Error("unwritable path should error")
+	}
+}

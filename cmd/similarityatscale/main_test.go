@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSampleFile(t *testing.T, dir, name string, values []string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(strings.Join(values, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPrintsSimilarity(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSampleFile(t, dir, "a.txt", []string{"1", "2", "3", "# comment", ""})
+	b := writeSampleFile(t, dir, "b.txt", []string{"2", "3", "4"})
+	stdout, err := os.CreateTemp(dir, "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stdout.Close()
+	if err := run([]string{"-procs", "2", a, b}, stdout); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Seek(0, 0)
+	content, _ := os.ReadFile(stdout.Name())
+	if !strings.Contains(string(content), "0.5000") {
+		t.Errorf("expected J=0.5 in output:\n%s", content)
+	}
+}
+
+func TestRunWritesTSVAndDistance(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSampleFile(t, dir, "a.txt", []string{"1", "2"})
+	b := writeSampleFile(t, dir, "b.txt", []string{"1", "2"})
+	outPath := filepath.Join(dir, "out.tsv")
+	stdout, _ := os.CreateTemp(dir, "stdout")
+	defer stdout.Close()
+	if err := run([]string{"-distance", "-output", outPath, "-m", "100", a, b}, stdout); err != nil {
+		t.Fatal(err)
+	}
+	content, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(content), "0.000000") {
+		t.Errorf("identical samples should have distance 0:\n%s", content)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSampleFile(t, dir, "a.txt", []string{"1"})
+	bad := writeSampleFile(t, dir, "bad.txt", []string{"xyz"})
+	stdout, _ := os.CreateTemp(dir, "stdout")
+	defer stdout.Close()
+	if err := run([]string{a}, stdout); err == nil {
+		t.Error("one file should be rejected")
+	}
+	if err := run([]string{a, bad}, stdout); err == nil {
+		t.Error("non-numeric values should be rejected")
+	}
+	if err := run([]string{a, filepath.Join(dir, "missing.txt")}, stdout); err == nil {
+		t.Error("missing file should be rejected")
+	}
+	// Explicit m smaller than the data must be rejected by the dataset layer.
+	big := writeSampleFile(t, dir, "big.txt", []string{"1000"})
+	if err := run([]string{"-m", "10", a, big}, stdout); err == nil {
+		t.Error("out-of-universe values should be rejected")
+	}
+}
+
+func TestReadValues(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSampleFile(t, dir, "v.txt", []string{"7", "  8  ", "#skip", "9"})
+	got, err := readValues(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 7 || got[2] != 9 {
+		t.Errorf("readValues = %v", got)
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"genomeatscale/internal/genome"
+)
+
+func TestRunGenomesMode(t *testing.T) {
+	dir := t.TempDir()
+	stdout, _ := os.CreateTemp(dir, "stdout")
+	defer stdout.Close()
+	outDir := filepath.Join(dir, "genomes")
+	if err := run([]string{"-mode", "genomes", "-samples", "3", "-length", "2000", "-out", outDir}, stdout); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("expected 3 FASTA files, got %d", len(entries))
+	}
+	records, err := genome.ReadFASTAFile(filepath.Join(outDir, "ancestor.fasta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 || len(records[0].Seq) != 2000 {
+		t.Errorf("ancestor record = %d sequences, %d bp", len(records), len(records[0].Seq))
+	}
+}
+
+func TestRunSetsMode(t *testing.T) {
+	dir := t.TempDir()
+	stdout, _ := os.CreateTemp(dir, "stdout")
+	defer stdout.Close()
+	outDir := filepath.Join(dir, "sets")
+	if err := run([]string{"-mode", "sets", "-samples", "4", "-attributes", "5000", "-density", "0.01", "-out", outDir}, stdout); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(outDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("expected 4 sample files, got %d", len(entries))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	stdout, _ := os.CreateTemp(dir, "stdout")
+	defer stdout.Close()
+	if err := run([]string{"-mode", "unknown", "-out", dir}, stdout); err == nil {
+		t.Error("unknown mode should be rejected")
+	}
+	if err := run([]string{"-mode", "genomes", "-samples", "0", "-out", dir}, stdout); err == nil {
+		t.Error("zero samples should be rejected")
+	}
+	if err := run([]string{"-mode", "sets", "-density", "5", "-out", dir}, stdout); err == nil {
+		t.Error("invalid density should be rejected")
+	}
+}

@@ -1,0 +1,60 @@
+// Scaling-projection example: use the paper's BSP cost model to answer the
+// capacity-planning question "how long would my dataset take on N nodes of
+// a Stampede2-class machine?", reproducing the methodology behind Figures
+// 2a and 2b without access to a supercomputer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"genomeatscale/internal/costmodel"
+)
+
+func main() {
+	samples := flag.Int("samples", 2580, "number of data samples n")
+	kmersPerSample := flag.Float64("kmers-per-sample", 4.1e7, "average distinct k-mers per sample")
+	k := flag.Int("k", 19, "k-mer length (defines the attribute universe 4^k)")
+	flag.Parse()
+
+	shape := costmodel.DatasetShape{
+		Name:          "user dataset",
+		Samples:       *samples,
+		Attributes:    pow4(*k),
+		TotalNonzeros: float64(*samples) * *kmersPerSample,
+	}
+	machine := costmodel.Stampede2KNL()
+	nodes := []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	points, err := costmodel.StrongScaling(machine, shape, nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("projection for %d samples, %.3g total k-mer occurrences, k=%d on %s\n\n",
+		*samples, shape.TotalNonzeros, *k, machine.Name)
+	fmt.Printf("%8s %8s %6s %10s %14s %16s %12s\n",
+		"nodes", "ranks", "c", "batches", "time/batch", "projected total", "efficiency")
+	for _, p := range points {
+		fmt.Printf("%8d %8d %6d %10d %13.2fs %15.2fh %11.2f\n",
+			p.Nodes, p.Ranks, p.Replication, p.Batches, p.BatchSeconds, p.TotalSeconds/3600, p.Efficiency)
+	}
+
+	// Highlight the sweet spot, as the paper does for the Kingsford runs.
+	best := points[0]
+	for _, p := range points {
+		if p.TotalSeconds < best.TotalSeconds {
+			best = p
+		}
+	}
+	fmt.Printf("\nbest projected configuration: %d nodes (%.2fh total, %.1f× vs 1 node)\n",
+		best.Nodes, best.TotalSeconds/3600, points[0].TotalSeconds/best.TotalSeconds)
+}
+
+func pow4(k int) float64 {
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out *= 4
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+// Package genomeatscale is the public façade of this Go reproduction of
+// "Communication-Efficient Jaccard Similarity for High-Performance
+// Distributed Genome Comparisons" (Besta et al., IPDPS 2020).
+//
+// It re-exports the entry points a downstream user needs:
+//
+//   - building datasets (from k-mer sets, graphs, documents or synthetic
+//     generators in the internal packages),
+//   - running SimilarityAtScale sequentially or across virtual BSP ranks,
+//   - computing exact pairwise Jaccard values for verification.
+//
+// The full machinery (BSP runtime, processor grids, bitmask compression,
+// cost model, GenomeAtScale preprocessing) lives in the internal packages;
+// see README.md for the architecture overview and examples/ for runnable
+// programs.
+package genomeatscale
+
+import "genomeatscale/internal/core"
+
+// Dataset is the abstract input of SimilarityAtScale: n samples, each a set
+// of attribute indices in [0, NumAttributes).
+type Dataset = core.Dataset
+
+// InMemoryDataset is the simplest Dataset implementation.
+type InMemoryDataset = core.InMemoryDataset
+
+// Options configures a SimilarityAtScale run (batch count, bitmask width,
+// virtual rank count, replication factor).
+type Options = core.Options
+
+// Result holds the similarity matrix S, distance matrix D = 1 − S,
+// intersection cardinalities B, per-sample cardinalities, and run
+// statistics (including exact communication volumes for distributed runs).
+type Result = core.Result
+
+// NewDataset builds a dataset from raw attribute lists; values are sorted
+// and de-duplicated, names may be nil.
+func NewDataset(names []string, samples [][]uint64, numAttributes uint64) (*InMemoryDataset, error) {
+	return core.NewInMemoryDataset(names, samples, numAttributes)
+}
+
+// DefaultOptions returns the paper's default configuration: one batch,
+// 64-bit masks, a single process, no replication.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Similarity runs SimilarityAtScale. With Options.Procs == 1 it uses the
+// sequential algebraic pipeline; otherwise it runs the fully distributed
+// pipeline over the in-process BSP runtime.
+func Similarity(ds Dataset, opts Options) (*Result, error) {
+	if opts.Procs > 1 {
+		return core.Compute(ds, opts)
+	}
+	return core.ComputeSequential(ds, opts)
+}
+
+// ExactJaccard computes the exact pairwise Jaccard similarity of two sorted
+// attribute sets; it is the brute-force reference the algebraic paths are
+// validated against.
+func ExactJaccard(x, y []uint64) float64 { return core.JaccardPair(x, y) }
+
+// JaccardDistance returns 1 − ExactJaccard(x, y).
+func JaccardDistance(x, y []uint64) float64 { return core.JaccardDistancePair(x, y) }

@@ -1,0 +1,136 @@
+// Package bitmat implements the bitmask-compressed batch matrix Â(l) of
+// SimilarityAtScale (Section III-B). After zero rows of a batch have been
+// filtered out and the surviving rows renumbered by the prefix sum of the
+// filter vector, segments of b consecutive rows of each column are packed
+// into b-bit words. The Gram product B = ÂᵀÂ is then evaluated with the
+// popcount-AND semiring (Eq. 7), which both shrinks the per-nonzero
+// metadata and lets a single machine instruction process b row positions.
+package bitmat
+
+import (
+	"fmt"
+
+	"genomeatscale/internal/bitutil"
+	"genomeatscale/internal/semiring"
+	"genomeatscale/internal/sparse"
+)
+
+// Packed is a column-compressed matrix whose values are b-bit masks of row
+// segments. Rows of Packed are "word rows": word row w of column j covers
+// original (filtered) rows [w*B, (w+1)*B).
+type Packed struct {
+	// WordRows is the number of packed word rows, ceil(activeRows / B).
+	WordRows int
+	// Cols is the number of data samples (columns of the indicator matrix).
+	Cols int
+	// B is the number of row positions packed per word (1..64).
+	B int
+	// ActiveRows is the number of (filtered) rows represented.
+	ActiveRows int
+
+	colPtr  []int    // length Cols+1
+	wordRow []int    // length NNZWords
+	words   []uint64 // length NNZWords
+}
+
+// NNZWords returns the number of stored packed words.
+func (p *Packed) NNZWords() int { return len(p.words) }
+
+// PopcountTotal returns the total number of set bits, i.e. the number of
+// indicator nonzeros represented by the packed matrix.
+func (p *Packed) PopcountTotal() int { return bitutil.PopcountSlice(p.words) }
+
+// Col returns the word-row indices and packed words of column j (views).
+func (p *Packed) Col(j int) ([]int, []uint64) {
+	lo, hi := p.colPtr[j], p.colPtr[j+1]
+	return p.wordRow[lo:hi], p.words[lo:hi]
+}
+
+// MemoryWords estimates the storage in 64-bit words: one word of payload and
+// one of metadata per stored nonzero word, plus the column pointers. This
+// feeds the cost model's memory accounting.
+func (p *Packed) MemoryWords() int {
+	return 2*len(p.words) + len(p.colPtr)
+}
+
+// PackColumns builds a Packed matrix from per-column sorted row-index lists
+// (the filtered rows of a batch). rowsPerCol[j] lists the active-row indices
+// present in column j, each in [0, activeRows). b must be in [1, 64].
+func PackColumns(rowsPerCol [][]int, activeRows, b int) *Packed {
+	if b <= 0 || b > 64 {
+		panic(fmt.Sprintf("bitmat: invalid bitmask width %d", b))
+	}
+	if activeRows < 0 {
+		panic("bitmat: negative active row count")
+	}
+	cols := len(rowsPerCol)
+	p := &Packed{
+		WordRows:   bitutil.WordsFor(activeRows, b),
+		Cols:       cols,
+		B:          b,
+		ActiveRows: activeRows,
+		colPtr:     make([]int, cols+1),
+	}
+	for j, rows := range rowsPerCol {
+		prevWord := -1
+		var cur uint64
+		emit := func() {
+			if prevWord >= 0 && cur != 0 {
+				p.wordRow = append(p.wordRow, prevWord)
+				p.words = append(p.words, cur)
+			}
+		}
+		for k, r := range rows {
+			if r < 0 || r >= activeRows {
+				panic(fmt.Sprintf("bitmat: row %d out of range [0,%d)", r, activeRows))
+			}
+			if k > 0 && rows[k-1] > r {
+				panic("bitmat: per-column rows must be sorted")
+			}
+			w := r / b
+			bit := uint(r % b)
+			if w != prevWord {
+				emit()
+				prevWord = w
+				cur = 0
+			}
+			cur |= 1 << bit
+		}
+		emit()
+		p.colPtr[j+1] = len(p.words)
+	}
+	return p
+}
+
+// PackCSC packs a boolean CSC matrix (a filtered batch Ā(l)) into a Packed
+// matrix with word width b. Stored entries are treated as 1-bits regardless
+// of value type.
+func PackCSC[T any](a *sparse.CSC[T], b int) *Packed {
+	rowsPerCol := make([][]int, a.NumCols)
+	for j := 0; j < a.NumCols; j++ {
+		rows, _ := a.Col(j)
+		rowsPerCol[j] = rows
+	}
+	return PackColumns(rowsPerCol, a.NumRows, b)
+}
+
+// Unpack expands the packed matrix back to a boolean CSC matrix with
+// ActiveRows rows; used by tests to verify the packing is lossless.
+func (p *Packed) Unpack() *sparse.CSC[bool] {
+	coo := sparse.NewCOO[bool](p.ActiveRows, p.Cols)
+	for j := 0; j < p.Cols; j++ {
+		wordRows, words := p.Col(j)
+		for k, w := range wordRows {
+			word := words[k]
+			for bit := 0; bit < p.B; bit++ {
+				if word&(1<<uint(bit)) != 0 {
+					r := w*p.B + bit
+					if r < p.ActiveRows {
+						coo.Append(r, j, true)
+					}
+				}
+			}
+		}
+	}
+	return sparse.CSCFromCOO(coo, semiring.OrBool())
+}

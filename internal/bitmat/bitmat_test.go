@@ -1,0 +1,308 @@
+package bitmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"genomeatscale/internal/semiring"
+	"genomeatscale/internal/sparse"
+)
+
+// randomIndicator builds a random boolean indicator matrix in CSC form.
+func randomIndicator(rng *rand.Rand, rows, cols int, density float64) *sparse.CSC[bool] {
+	coo := sparse.NewCOO[bool](rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				coo.Append(i, j, true)
+			}
+		}
+	}
+	return sparse.CSCFromCOO(coo, semiring.OrBool())
+}
+
+func TestPackColumnsBasic(t *testing.T) {
+	// Column 0 has rows {0, 1, 64}; column 1 has row {63}.
+	p := PackColumns([][]int{{0, 1, 64}, {63}}, 70, 64)
+	if p.WordRows != 2 {
+		t.Fatalf("WordRows = %d, want 2", p.WordRows)
+	}
+	if p.NNZWords() != 3 {
+		t.Fatalf("NNZWords = %d, want 3", p.NNZWords())
+	}
+	if p.PopcountTotal() != 4 {
+		t.Fatalf("PopcountTotal = %d, want 4", p.PopcountTotal())
+	}
+	wr, ws := p.Col(0)
+	if len(wr) != 2 || wr[0] != 0 || wr[1] != 1 {
+		t.Fatalf("col 0 word rows = %v", wr)
+	}
+	if ws[0] != 0b11 || ws[1] != 1 {
+		t.Fatalf("col 0 words = %v", ws)
+	}
+	wr1, ws1 := p.Col(1)
+	if len(wr1) != 1 || wr1[0] != 0 || ws1[0] != 1<<63 {
+		t.Fatalf("col 1 = %v %v", wr1, ws1)
+	}
+}
+
+func TestPackColumnsNarrowWidth(t *testing.T) {
+	// With b = 8, row 9 lands in word row 1, bit 1.
+	p := PackColumns([][]int{{9}}, 16, 8)
+	if p.WordRows != 2 {
+		t.Fatalf("WordRows = %d, want 2", p.WordRows)
+	}
+	wr, ws := p.Col(0)
+	if wr[0] != 1 || ws[0] != 2 {
+		t.Fatalf("got %v %v, want word row 1 value 2", wr, ws)
+	}
+}
+
+func TestPackColumnsPanics(t *testing.T) {
+	cases := []func(){
+		func() { PackColumns(nil, 10, 0) },
+		func() { PackColumns(nil, 10, 65) },
+		func() { PackColumns(nil, -1, 64) },
+		func() { PackColumns([][]int{{10}}, 10, 64) },
+		func() { PackColumns([][]int{{5, 3}}, 10, 64) }, // unsorted
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, b := range []int{8, 32, 64} {
+		for trial := 0; trial < 8; trial++ {
+			rows := 1 + rng.Intn(200)
+			cols := 1 + rng.Intn(10)
+			csc := randomIndicator(rng, rows, cols, 0.15)
+			p := PackCSC(csc, b)
+			back := p.Unpack()
+			if back.NNZ() != csc.NNZ() {
+				t.Fatalf("b=%d: nnz %d after round trip, want %d", b, back.NNZ(), csc.NNZ())
+			}
+			for j := 0; j < cols; j++ {
+				wantRows, _ := csc.Col(j)
+				gotRows, _ := back.Col(j)
+				if len(wantRows) != len(gotRows) {
+					t.Fatalf("b=%d col %d: row count mismatch", b, j)
+				}
+				for k := range wantRows {
+					if wantRows[k] != gotRows[k] {
+						t.Fatalf("b=%d col %d: row %d vs %d", b, j, gotRows[k], wantRows[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// The packed Gram product must agree with the uncompressed reference GramT
+// over the (+,×) semiring — the equivalence that justifies Eq. 7.
+func TestGramMatchesUncompressedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, b := range []int{16, 32, 64} {
+		for trial := 0; trial < 10; trial++ {
+			rows := 1 + rng.Intn(150)
+			cols := 1 + rng.Intn(12)
+			coo := sparse.NewCOO[int64](rows, cols)
+			booCoo := sparse.NewCOO[bool](rows, cols)
+			for i := 0; i < rows; i++ {
+				for j := 0; j < cols; j++ {
+					if rng.Float64() < 0.2 {
+						coo.Append(i, j, 1)
+						booCoo.Append(i, j, true)
+					}
+				}
+			}
+			want := sparse.GramT(sparse.CSCFromCOO(coo, semiring.PlusInt64()), semiring.PlusTimesInt64())
+			p := PackCSC(sparse.CSCFromCOO(booCoo, semiring.OrBool()), b)
+			got := p.Gram()
+			if !sparse.Equal(want, got, func(a, c int64) bool { return a == c }) {
+				t.Fatalf("b=%d trial %d: packed Gram differs from reference", b, trial)
+			}
+		}
+	}
+}
+
+func TestGramAccumulateShapePanics(t *testing.T) {
+	p := PackColumns([][]int{{0}}, 1, 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.GramAccumulate(sparse.NewDense[int64](2, 2))
+}
+
+func TestColPopcounts(t *testing.T) {
+	p := PackColumns([][]int{{0, 1, 2}, {}, {63, 64}}, 100, 64)
+	pc := p.ColPopcounts()
+	if pc[0] != 3 || pc[1] != 0 || pc[2] != 2 {
+		t.Errorf("ColPopcounts = %v", pc)
+	}
+}
+
+func TestGramBlockMatchesFullGram(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rows, cols := 120, 9
+	csc := randomIndicator(rng, rows, cols, 0.2)
+	p := PackCSC(csc, 64)
+	full := p.Gram()
+	// Split columns into two blocks and recompose the Gram matrix from
+	// GramBlock calls.
+	split := 4
+	a := p.ColRange(0, split)
+	b := p.ColRange(split, cols)
+	blocks := [][2]*Packed{{a, a}, {a, b}, {b, a}, {b, b}}
+	offsets := [][2]int{{0, 0}, {0, split}, {split, 0}, {split, split}}
+	for k, pair := range blocks {
+		blk := GramBlock(pair[0], pair[1])
+		ro, co := offsets[k][0], offsets[k][1]
+		for i := 0; i < blk.Rows; i++ {
+			for j := 0; j < blk.Cols; j++ {
+				if blk.At(i, j) != full.At(ro+i, co+j) {
+					t.Fatalf("block %d: (%d,%d) = %d, want %d", k, i, j, blk.At(i, j), full.At(ro+i, co+j))
+				}
+			}
+		}
+	}
+}
+
+func TestGramBlockMismatchPanics(t *testing.T) {
+	a := PackColumns([][]int{{0}}, 64, 64)
+	b := PackColumns([][]int{{0}}, 200, 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	GramBlock(a, b)
+}
+
+func TestWordRowRangeSplitsGram(t *testing.T) {
+	// Splitting the contraction dimension across "layers" and summing the
+	// partial Gram products must reproduce the full Gram product (the 3D
+	// algorithm's reduction step).
+	rng := rand.New(rand.NewSource(17))
+	rows, cols := 300, 7
+	csc := randomIndicator(rng, rows, cols, 0.1)
+	p := PackCSC(csc, 64)
+	full := p.Gram()
+	acc := sparse.NewDense[int64](cols, cols)
+	layers := 3
+	per := (p.WordRows + layers - 1) / layers
+	for l := 0; l < layers; l++ {
+		lo := l * per
+		hi := lo + per
+		if hi > p.WordRows {
+			hi = p.WordRows
+		}
+		if lo >= hi {
+			continue
+		}
+		part := p.WordRowRange(lo, hi)
+		part.GramAccumulate(acc)
+	}
+	if !sparse.Equal(full, acc, func(a, b int64) bool { return a == b }) {
+		t.Error("sum of per-layer Gram products must equal the full Gram product")
+	}
+}
+
+func TestColRangePanics(t *testing.T) {
+	p := PackColumns([][]int{{0}, {1}}, 2, 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.ColRange(1, 3)
+}
+
+func TestWordRowRangePanics(t *testing.T) {
+	p := PackColumns([][]int{{0}}, 64, 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.WordRowRange(0, 2)
+}
+
+func TestEntriesFromEntriesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	csc := randomIndicator(rng, 150, 6, 0.15)
+	p := PackCSC(csc, 64)
+	entries := p.Entries()
+	q := FromEntries(entries, p.WordRows, p.Cols, p.B, p.ActiveRows)
+	if !sparse.Equal(p.Gram(), q.Gram(), func(a, b int64) bool { return a == b }) {
+		t.Error("round trip through Entries/FromEntries changed the matrix")
+	}
+	if q.NNZWords() != p.NNZWords() {
+		t.Errorf("NNZWords = %d, want %d", q.NNZWords(), p.NNZWords())
+	}
+}
+
+func TestFromEntriesCombinesDuplicates(t *testing.T) {
+	entries := []PackedEntry{
+		{WordRow: 0, Col: 0, Word: 0b01},
+		{WordRow: 0, Col: 0, Word: 0b10},
+	}
+	p := FromEntries(entries, 1, 1, 64, 2)
+	if p.NNZWords() != 1 {
+		t.Fatalf("NNZWords = %d, want 1", p.NNZWords())
+	}
+	_, ws := p.Col(0)
+	if ws[0] != 0b11 {
+		t.Errorf("combined word = %b, want 11", ws[0])
+	}
+}
+
+func TestFromEntriesOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	FromEntries([]PackedEntry{{WordRow: 5, Col: 0, Word: 1}}, 2, 1, 64, 100)
+}
+
+func TestMemoryWordsMonotone(t *testing.T) {
+	small := PackColumns([][]int{{0}}, 64, 64)
+	big := PackColumns([][]int{{0, 64, 128}, {1, 65}}, 200, 64)
+	if big.MemoryWords() <= small.MemoryWords() {
+		t.Error("more nonzero words must consume more memory")
+	}
+}
+
+// Property: for any set of row indices, the packed column popcount equals
+// the number of distinct indices (packing is lossless on cardinalities).
+func TestColPopcountsEqualCardinalityProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		seen := map[int]bool{}
+		rows := make([]int, 0, len(raw))
+		for _, r := range raw {
+			v := int(r % 1000)
+			if !seen[v] {
+				seen[v] = true
+				rows = append(rows, v)
+			}
+		}
+		insertionSort(rows)
+		p := PackColumns([][]int{rows}, 1000, 64)
+		return p.ColPopcounts()[0] == int64(len(rows))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,228 @@
+package bitmat
+
+import (
+	"fmt"
+
+	"genomeatscale/internal/bitutil"
+	"genomeatscale/internal/sparse"
+)
+
+// Gram computes B = ÂᵀÂ over the popcount-AND semiring (Eq. 7):
+// B[i][j] = Σ_k popcount(Â[k][i] ∧ Â[k][j]). With indicator data this equals
+// the intersection cardinality |X_i ∩ X_j| restricted to the rows covered by
+// this batch. The result is a dense Cols×Cols matrix.
+func (p *Packed) Gram() *sparse.Dense[int64] {
+	out := sparse.NewDense[int64](p.Cols, p.Cols)
+	p.GramAccumulate(out)
+	return out
+}
+
+// GramAccumulate adds this batch's Gram contribution into an existing dense
+// accumulator, implementing the per-batch accumulation of Eq. 4.
+func (p *Packed) GramAccumulate(into *sparse.Dense[int64]) {
+	if into.Rows != p.Cols || into.Cols != p.Cols {
+		panic(fmt.Sprintf("bitmat: Gram accumulator shape %dx%d, want %dx%d", into.Rows, into.Cols, p.Cols, p.Cols))
+	}
+	for i := 0; i < p.Cols; i++ {
+		wi, vi := p.Col(i)
+		if len(wi) == 0 {
+			continue
+		}
+		for j := i; j < p.Cols; j++ {
+			wj, vj := p.Col(j)
+			if len(wj) == 0 {
+				continue
+			}
+			c := int64(mergePopcount(wi, vi, wj, vj))
+			if c == 0 {
+				continue
+			}
+			into.Update(i, j, func(v int64) int64 { return v + c })
+			if i != j {
+				into.Update(j, i, func(v int64) int64 { return v + c })
+			}
+		}
+	}
+}
+
+// GramBlock computes the Cols(a)×Cols(b) block of the Gram product between
+// two packed column blocks a and b that share the same row space:
+// out[i][j] = Σ_k popcount(a[k][i] ∧ b[k][j]). It is the local kernel of the
+// distributed SUMMA product in internal/dist, where processor (s, t) of a 2D
+// grid multiplies its row-panel copies of column blocks s and t.
+func GramBlock(a, b *Packed) *sparse.Dense[int64] {
+	if a.WordRows != b.WordRows || a.B != b.B {
+		panic(fmt.Sprintf("bitmat: GramBlock row-space mismatch (%d,%d) vs (%d,%d)", a.WordRows, a.B, b.WordRows, b.B))
+	}
+	out := sparse.NewDense[int64](a.Cols, b.Cols)
+	for i := 0; i < a.Cols; i++ {
+		wi, vi := a.Col(i)
+		if len(wi) == 0 {
+			continue
+		}
+		for j := 0; j < b.Cols; j++ {
+			wj, vj := b.Col(j)
+			if len(wj) == 0 {
+				continue
+			}
+			out.Set(i, j, int64(mergePopcount(wi, vi, wj, vj)))
+		}
+	}
+	return out
+}
+
+// mergePopcount merges two sorted (wordRow, word) streams and accumulates
+// popcount(wi & wj) on matching word rows.
+func mergePopcount(wi []int, vi []uint64, wj []int, vj []uint64) int {
+	acc, a, b := 0, 0, 0
+	for a < len(wi) && b < len(wj) {
+		switch {
+		case wi[a] < wj[b]:
+			a++
+		case wi[a] > wj[b]:
+			b++
+		default:
+			acc += bitutil.PopcountAnd(vi[a], vj[b])
+			a++
+			b++
+		}
+	}
+	return acc
+}
+
+// ColPopcounts returns the per-column set-bit counts, i.e. this batch's
+// contribution to the per-sample cardinalities â of Eq. 4.
+func (p *Packed) ColPopcounts() []int64 {
+	out := make([]int64, p.Cols)
+	for j := 0; j < p.Cols; j++ {
+		_, words := p.Col(j)
+		out[j] = int64(bitutil.PopcountSlice(words))
+	}
+	return out
+}
+
+// ColRange extracts the packed sub-matrix of columns [lo, hi), sharing the
+// same row space. Used to build per-processor column blocks for the
+// distributed Gram product.
+func (p *Packed) ColRange(lo, hi int) *Packed {
+	if lo < 0 || hi > p.Cols || lo > hi {
+		panic(fmt.Sprintf("bitmat: ColRange [%d,%d) out of range for %d columns", lo, hi, p.Cols))
+	}
+	out := &Packed{
+		WordRows:   p.WordRows,
+		Cols:       hi - lo,
+		B:          p.B,
+		ActiveRows: p.ActiveRows,
+		colPtr:     make([]int, hi-lo+1),
+	}
+	for j := lo; j < hi; j++ {
+		wr, ws := p.Col(j)
+		out.wordRow = append(out.wordRow, wr...)
+		out.words = append(out.words, ws...)
+		out.colPtr[j-lo+1] = len(out.words)
+	}
+	return out
+}
+
+// WordRowRange extracts the packed sub-matrix restricted to word rows
+// [lo, hi), with word-row indices shifted to start at zero. Used to split
+// the contraction (row) dimension across the c replication layers of the
+// 3D processor grid.
+func (p *Packed) WordRowRange(lo, hi int) *Packed {
+	if lo < 0 || hi > p.WordRows || lo > hi {
+		panic(fmt.Sprintf("bitmat: WordRowRange [%d,%d) out of range for %d word rows", lo, hi, p.WordRows))
+	}
+	active := (hi - lo) * p.B
+	if rem := p.ActiveRows - lo*p.B; hi == p.WordRows && rem < active {
+		active = rem
+	}
+	if active < 0 {
+		active = 0
+	}
+	out := &Packed{
+		WordRows:   hi - lo,
+		Cols:       p.Cols,
+		B:          p.B,
+		ActiveRows: active,
+		colPtr:     make([]int, p.Cols+1),
+	}
+	for j := 0; j < p.Cols; j++ {
+		wr, ws := p.Col(j)
+		for k, w := range wr {
+			if w >= lo && w < hi {
+				out.wordRow = append(out.wordRow, w-lo)
+				out.words = append(out.words, ws[k])
+			}
+		}
+		out.colPtr[j+1] = len(out.words)
+	}
+	return out
+}
+
+// Entries returns the packed matrix as coordinate triples
+// (wordRow, col, word); used to move packed blocks through the BSP runtime.
+func (p *Packed) Entries() []PackedEntry {
+	out := make([]PackedEntry, 0, len(p.words))
+	for j := 0; j < p.Cols; j++ {
+		wr, ws := p.Col(j)
+		for k := range wr {
+			out = append(out, PackedEntry{WordRow: wr[k], Col: j, Word: ws[k]})
+		}
+	}
+	return out
+}
+
+// PackedEntry is one nonzero packed word in coordinate form.
+type PackedEntry struct {
+	WordRow int
+	Col     int
+	Word    uint64
+}
+
+// FromEntries rebuilds a Packed matrix from coordinate packed entries.
+// Entries for the same (wordRow, col) are OR-combined.
+func FromEntries(entries []PackedEntry, wordRows, cols, b, activeRows int) *Packed {
+	perCol := make([]map[int]uint64, cols)
+	for _, e := range entries {
+		if e.Col < 0 || e.Col >= cols || e.WordRow < 0 || e.WordRow >= wordRows {
+			panic(fmt.Sprintf("bitmat: entry (%d,%d) out of range %dx%d", e.WordRow, e.Col, wordRows, cols))
+		}
+		if perCol[e.Col] == nil {
+			perCol[e.Col] = make(map[int]uint64)
+		}
+		perCol[e.Col][e.WordRow] |= e.Word
+	}
+	out := &Packed{
+		WordRows:   wordRows,
+		Cols:       cols,
+		B:          b,
+		ActiveRows: activeRows,
+		colPtr:     make([]int, cols+1),
+	}
+	for j := 0; j < cols; j++ {
+		m := perCol[j]
+		keys := make([]int, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		insertionSort(keys)
+		for _, k := range keys {
+			out.wordRow = append(out.wordRow, k)
+			out.words = append(out.words, m[k])
+		}
+		out.colPtr[j+1] = len(out.words)
+	}
+	return out
+}
+
+func insertionSort(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		v := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > v {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = v
+	}
+}

@@ -1,0 +1,403 @@
+// Package bsp provides an in-process Bulk Synchronous Parallel runtime that
+// stands in for MPI in this Go reproduction of SimilarityAtScale.
+//
+// The paper analyses the algorithm in the BSP model (Section III-C): p
+// processors, a per-superstep synchronisation cost α, a per-byte bandwidth
+// cost β, and a per-operation compute cost γ. This package executes one
+// goroutine per virtual rank with true superstep semantics — messages sent
+// during a superstep are delivered only after the global synchronisation —
+// and records, per superstep, exactly how many bytes each rank injected and
+// received (the h-relation). Those measurements feed the cost model in
+// internal/costmodel, which converts them into projected wall-clock times
+// on a Stampede2-like machine, reproducing the paper's scaling figures.
+//
+// Programs are SPMD: every rank runs the same function and must execute the
+// same sequence of Sync and collective calls. A rank may finish early; the
+// remaining ranks continue to synchronise among themselves.
+package bsp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Message is a point-to-point message delivered at the next superstep
+// boundary.
+type Message struct {
+	From, To int
+	Tag      int
+	Payload  any
+	Bytes    int
+}
+
+// Stats aggregates communication and computation accounting for one Run.
+type Stats struct {
+	// Procs is the number of virtual ranks.
+	Procs int
+	// Supersteps is the number of global synchronisations performed.
+	Supersteps int
+	// TotalBytes is the total volume of point-to-point traffic.
+	TotalBytes int64
+	// TotalMessages counts delivered messages.
+	TotalMessages int64
+	// HRelations[s] is the h-relation of superstep s: the maximum over ranks
+	// of bytes sent or received in that superstep. The BSP communication
+	// cost of the run is Σ_s (α + β·HRelations[s]).
+	HRelations []int64
+	// BytesSentPerRank[r] is the total bytes rank r injected.
+	BytesSentPerRank []int64
+	// BytesRecvPerRank[r] is the total bytes rank r received.
+	BytesRecvPerRank []int64
+	// FlopsPerRank[r] is the work rank r reported via AddFlops.
+	FlopsPerRank []int64
+	// MemWordsPerRank[r] is the peak memory (64-bit words) rank r reported
+	// via NoteMemory.
+	MemWordsPerRank []int64
+}
+
+// MaxFlops returns the largest per-rank reported work (the critical path of
+// the computation term F/p·γ in the cost model).
+func (s *Stats) MaxFlops() int64 {
+	var m int64
+	for _, f := range s.FlopsPerRank {
+		if f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// MaxBytesSent returns the largest per-rank injected volume.
+func (s *Stats) MaxBytesSent() int64 {
+	var m int64
+	for _, b := range s.BytesSentPerRank {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// SumHRelations returns Σ_s HRelations[s], the total bandwidth-critical
+// volume of the run.
+func (s *Stats) SumHRelations() int64 {
+	var t int64
+	for _, h := range s.HRelations {
+		t += h
+	}
+	return t
+}
+
+// MaxMemWords returns the largest per-rank reported memory footprint.
+func (s *Stats) MaxMemWords() int64 {
+	var m int64
+	for _, w := range s.MemWordsPerRank {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// runtime is the shared state behind one Run call.
+type runtime struct {
+	p int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	arrived   int
+	finished  int
+	gen       int
+	aborted   bool
+	abortErr  error
+	staged    []Message // messages staged during the current superstep
+	nextInbox [][]Message
+
+	// per-superstep accounting (reset each superstep)
+	sentThisStep []int64
+	recvThisStep []int64
+
+	stats Stats
+}
+
+// Proc is the handle a rank uses to communicate. It is only valid inside
+// the function passed to Run and must not be shared across ranks.
+type Proc struct {
+	rank int
+	rt   *runtime
+
+	pending []Message // messages queued for the next Sync
+	inbox   []Message // messages delivered at the previous Sync
+	collSeq int       // per-rank collective sequence number (tags < 0)
+}
+
+// Rank returns this rank's id in [0, NProcs).
+func (p *Proc) Rank() int { return p.rank }
+
+// NProcs returns the number of virtual ranks in the run.
+func (p *Proc) NProcs() int { return p.rt.p }
+
+// abortError unwinds a rank when another rank failed.
+type abortError struct{ err error }
+
+func (a abortError) Error() string { return fmt.Sprintf("bsp: aborted: %v", a.err) }
+
+// Send queues a message for delivery to rank `to` after the next Sync. The
+// byte size used for accounting is computed by PayloadBytes; user tags must
+// be non-negative (negative tags are reserved for collectives).
+func (p *Proc) Send(to, tag int, payload any) {
+	if tag < 0 {
+		panic("bsp: negative tags are reserved for collectives")
+	}
+	p.send(to, tag, payload)
+}
+
+func (p *Proc) send(to, tag int, payload any) {
+	if to < 0 || to >= p.rt.p {
+		panic(fmt.Sprintf("bsp: destination rank %d out of range [0,%d)", to, p.rt.p))
+	}
+	p.pending = append(p.pending, Message{
+		From: p.rank, To: to, Tag: tag, Payload: payload, Bytes: PayloadBytes(payload),
+	})
+}
+
+// AddFlops reports local computational work (arithmetic operations) for the
+// cost model's γ term.
+func (p *Proc) AddFlops(n int64) {
+	if n <= 0 {
+		return
+	}
+	p.rt.mu.Lock()
+	p.rt.stats.FlopsPerRank[p.rank] += n
+	p.rt.mu.Unlock()
+}
+
+// NoteMemory reports a memory footprint (in 64-bit words); the per-rank
+// maximum is retained. The batch planner uses this to check the M ≥ cn²/p
+// requirement of the replication scheme.
+func (p *Proc) NoteMemory(words int64) {
+	p.rt.mu.Lock()
+	if words > p.rt.stats.MemWordsPerRank[p.rank] {
+		p.rt.stats.MemWordsPerRank[p.rank] = words
+	}
+	p.rt.mu.Unlock()
+}
+
+// Sync ends the current superstep: it blocks until every still-running rank
+// reaches Sync, delivers all messages sent during the superstep, and makes
+// them available through Recv/RecvAll.
+func (p *Proc) Sync() {
+	rt := p.rt
+	rt.mu.Lock()
+	if rt.aborted {
+		rt.mu.Unlock()
+		panic(abortError{rt.abortErr})
+	}
+	// Stage this rank's outgoing messages.
+	for _, m := range p.pending {
+		rt.staged = append(rt.staged, m)
+		rt.sentThisStep[m.From] += int64(m.Bytes)
+		rt.recvThisStep[m.To] += int64(m.Bytes)
+	}
+	p.pending = p.pending[:0]
+	gen := rt.gen
+	rt.arrived++
+	if rt.arrived+rt.finished == rt.p {
+		rt.completeSuperstepLocked()
+	} else {
+		for gen == rt.gen && !rt.aborted {
+			rt.cond.Wait()
+		}
+		if rt.aborted {
+			rt.mu.Unlock()
+			panic(abortError{rt.abortErr})
+		}
+	}
+	inbox := rt.nextInbox[p.rank]
+	rt.nextInbox[p.rank] = nil
+	rt.mu.Unlock()
+	p.inbox = append(p.inbox, inbox...)
+}
+
+// completeSuperstepLocked delivers staged messages and wakes all waiting
+// ranks. Caller holds rt.mu.
+func (rt *runtime) completeSuperstepLocked() {
+	var h int64
+	for r := 0; r < rt.p; r++ {
+		if rt.sentThisStep[r] > h {
+			h = rt.sentThisStep[r]
+		}
+		if rt.recvThisStep[r] > h {
+			h = rt.recvThisStep[r]
+		}
+		rt.stats.BytesSentPerRank[r] += rt.sentThisStep[r]
+		rt.stats.BytesRecvPerRank[r] += rt.recvThisStep[r]
+		rt.sentThisStep[r] = 0
+		rt.recvThisStep[r] = 0
+	}
+	rt.stats.HRelations = append(rt.stats.HRelations, h)
+	rt.stats.Supersteps++
+	for _, m := range rt.staged {
+		rt.stats.TotalBytes += int64(m.Bytes)
+		rt.stats.TotalMessages++
+		rt.nextInbox[m.To] = append(rt.nextInbox[m.To], m)
+	}
+	rt.staged = rt.staged[:0]
+	rt.arrived = 0
+	rt.gen++
+	rt.cond.Broadcast()
+}
+
+// finish marks a rank as done so remaining ranks can still complete
+// supersteps among themselves.
+func (rt *runtime) finish() {
+	rt.mu.Lock()
+	rt.finished++
+	if rt.arrived+rt.finished == rt.p && rt.arrived > 0 {
+		rt.completeSuperstepLocked()
+	}
+	rt.mu.Unlock()
+}
+
+// abort wakes every rank with an error.
+func (rt *runtime) abort(err error) {
+	rt.mu.Lock()
+	if !rt.aborted {
+		rt.aborted = true
+		rt.abortErr = err
+	}
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+}
+
+// RecvAll removes and returns all delivered messages carrying the given
+// tag, in arbitrary sender order.
+func (p *Proc) RecvAll(tag int) []Message {
+	var out, keep []Message
+	for _, m := range p.inbox {
+		if m.Tag == tag {
+			out = append(out, m)
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	p.inbox = keep
+	return out
+}
+
+// PendingMessages returns the number of delivered-but-unclaimed messages;
+// useful for tests asserting that protocols drain their traffic.
+func (p *Proc) PendingMessages() int { return len(p.inbox) }
+
+// nextCollectiveTag returns the reserved tag for the next collective call.
+// SPMD programs call collectives in the same order on every rank, so the
+// per-rank sequence numbers agree.
+func (p *Proc) nextCollectiveTag() int {
+	p.collSeq++
+	return -p.collSeq
+}
+
+// Run executes fn on p virtual ranks and returns the aggregated statistics.
+// If any rank returns an error or panics, the run is aborted and the first
+// error is returned alongside the (partial) statistics.
+func Run(p int, fn func(*Proc) error) (*Stats, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("bsp: number of ranks must be positive, got %d", p)
+	}
+	rt := &runtime{
+		p:            p,
+		nextInbox:    make([][]Message, p),
+		sentThisStep: make([]int64, p),
+		recvThisStep: make([]int64, p),
+	}
+	rt.cond = sync.NewCond(&rt.mu)
+	rt.stats = Stats{
+		Procs:            p,
+		BytesSentPerRank: make([]int64, p),
+		BytesRecvPerRank: make([]int64, p),
+		FlopsPerRank:     make([]int64, p),
+		MemWordsPerRank:  make([]int64, p),
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			proc := &Proc{rank: rank, rt: rt}
+			defer rt.finish()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if ab, ok := rec.(abortError); ok {
+						errs[rank] = ab
+						return
+					}
+					err := fmt.Errorf("bsp: rank %d panicked: %v", rank, rec)
+					errs[rank] = err
+					rt.abort(err)
+				}
+			}()
+			if err := fn(proc); err != nil {
+				errs[rank] = err
+				rt.abort(fmt.Errorf("bsp: rank %d failed: %w", rank, err))
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			if _, isAbort := err.(abortError); isAbort {
+				continue
+			}
+			return &rt.stats, err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return &rt.stats, err
+		}
+	}
+	return &rt.stats, nil
+}
+
+// PayloadBytes estimates the wire size of a payload for accounting. Common
+// slice types are sized exactly; other values fall back to a single word.
+// Types can override the estimate by implementing ByteSizer.
+func PayloadBytes(v any) int {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case ByteSizer:
+		return x.ByteSize()
+	case []byte:
+		return len(x)
+	case []uint64:
+		return 8 * len(x)
+	case []int64:
+		return 8 * len(x)
+	case []int:
+		return 8 * len(x)
+	case []float64:
+		return 8 * len(x)
+	case []int32:
+		return 4 * len(x)
+	case []uint32:
+		return 4 * len(x)
+	case []bool:
+		return len(x)
+	case string:
+		return len(x)
+	case bool, int8, uint8:
+		return 1
+	case int32, uint32, float32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// ByteSizer lets payload types report their exact wire size.
+type ByteSizer interface {
+	ByteSize() int
+}

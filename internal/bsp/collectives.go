@@ -1,0 +1,200 @@
+package bsp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The collectives below mirror the MPI operations the paper's Cyclops
+// backend relies on (broadcast, reduction, all-to-all redistribution,
+// prefix sums). Each collective is implemented directly on top of the BSP
+// point-to-point layer so its communication volume and superstep count are
+// visible to the accounting in Stats. Programs must call collectives in the
+// same order on every rank (SPMD), which is how the reserved tags stay
+// aligned.
+
+// Barrier synchronises all ranks without exchanging data.
+func Barrier(p *Proc) {
+	p.nextCollectiveTag()
+	p.Sync()
+}
+
+// Bcast distributes root's value to every rank and returns it. One
+// superstep; root injects (p-1)·|x| bytes, matching the allreduce-versus-
+// pointwise trade-off the paper discusses for MapReduce-style solutions.
+func Bcast[T any](p *Proc, root int, x T) T {
+	tag := p.nextCollectiveTag()
+	if p.Rank() == root {
+		for r := 0; r < p.NProcs(); r++ {
+			if r != root {
+				p.send(r, tag, x)
+			}
+		}
+	}
+	p.Sync()
+	if p.Rank() == root {
+		return x
+	}
+	msgs := p.RecvAll(tag)
+	if len(msgs) != 1 {
+		panic(fmt.Sprintf("bsp: Bcast expected 1 message, got %d", len(msgs)))
+	}
+	return msgs[0].Payload.(T)
+}
+
+// Gather collects each rank's value at root. Root receives values indexed
+// by sender rank; other ranks receive nil.
+func Gather[T any](p *Proc, root int, x T) []T {
+	tag := p.nextCollectiveTag()
+	if p.Rank() != root {
+		p.send(root, tag, x)
+	}
+	p.Sync()
+	if p.Rank() != root {
+		return nil
+	}
+	out := make([]T, p.NProcs())
+	out[root] = x
+	for _, m := range p.RecvAll(tag) {
+		out[m.From] = m.Payload.(T)
+	}
+	return out
+}
+
+// AllGather collects each rank's value on every rank, indexed by rank.
+func AllGather[T any](p *Proc, x T) []T {
+	tag := p.nextCollectiveTag()
+	for r := 0; r < p.NProcs(); r++ {
+		if r != p.Rank() {
+			p.send(r, tag, x)
+		}
+	}
+	p.Sync()
+	out := make([]T, p.NProcs())
+	out[p.Rank()] = x
+	for _, m := range p.RecvAll(tag) {
+		out[m.From] = m.Payload.(T)
+	}
+	return out
+}
+
+// Reduce folds every rank's value at root with op (associative and
+// commutative); only root receives the result (ok=true at root).
+func Reduce[T any](p *Proc, root int, x T, op func(T, T) T) (T, bool) {
+	vals := Gather(p, root, x)
+	if p.Rank() != root {
+		var zero T
+		return zero, false
+	}
+	acc := vals[0]
+	for _, v := range vals[1:] {
+		acc = op(acc, v)
+	}
+	return acc, true
+}
+
+// AllReduce folds every rank's value with op and returns the result on all
+// ranks. Two supersteps (gather at rank 0, broadcast back).
+func AllReduce[T any](p *Proc, x T, op func(T, T) T) T {
+	acc, _ := Reduce(p, 0, x, op)
+	return Bcast(p, 0, acc)
+}
+
+// AllReduceSlice elementwise-folds equal-length slices across ranks; it is
+// the reduction used to sum per-layer Gram contributions and per-batch
+// column counts (Eq. 4).
+func AllReduceSlice[T any](p *Proc, xs []T, op func(T, T) T) []T {
+	return AllReduce(p, append([]T(nil), xs...), func(a, b []T) []T {
+		if len(a) != len(b) {
+			panic(fmt.Sprintf("bsp: AllReduceSlice length mismatch %d vs %d", len(a), len(b)))
+		}
+		out := make([]T, len(a))
+		for i := range a {
+			out[i] = op(a[i], b[i])
+		}
+		return out
+	})
+}
+
+// ReduceSlice elementwise-folds equal-length slices at root only.
+func ReduceSlice[T any](p *Proc, root int, xs []T, op func(T, T) T) ([]T, bool) {
+	return Reduce(p, root, append([]T(nil), xs...), func(a, b []T) []T {
+		if len(a) != len(b) {
+			panic(fmt.Sprintf("bsp: ReduceSlice length mismatch %d vs %d", len(a), len(b)))
+		}
+		out := make([]T, len(a))
+		for i := range a {
+			out[i] = op(a[i], b[i])
+		}
+		return out
+	})
+}
+
+// ExScan returns the exclusive prefix fold of x across ranks:
+// rank r receives op(x_0, ..., x_{r-1}), and rank 0 receives identity.
+// This is the distributed prefix sum used to place nonzero filter entries
+// (Section III-C, "a prefix sum of the nonzero entries of f(l)").
+func ExScan[T any](p *Proc, x T, op func(T, T) T, identity T) T {
+	vals := AllGather(p, x)
+	acc := identity
+	for r := 0; r < p.Rank(); r++ {
+		acc = op(acc, vals[r])
+	}
+	return acc
+}
+
+// AllToAll delivers out[r] to rank r and returns the slice of values this
+// rank received, indexed by sender. out must have length NProcs. One
+// superstep; this is the transposition/redistribution primitive used by the
+// filter construction and by distributed matrix Write.
+func AllToAll[T any](p *Proc, out []T) []T {
+	if len(out) != p.NProcs() {
+		panic(fmt.Sprintf("bsp: AllToAll requires %d output buckets, got %d", p.NProcs(), len(out)))
+	}
+	tag := p.nextCollectiveTag()
+	for r := 0; r < p.NProcs(); r++ {
+		if r != p.Rank() {
+			p.send(r, tag, out[r])
+		}
+	}
+	p.Sync()
+	in := make([]T, p.NProcs())
+	in[p.Rank()] = out[p.Rank()]
+	for _, m := range p.RecvAll(tag) {
+		in[m.From] = m.Payload.(T)
+	}
+	return in
+}
+
+// GatherVariable collects variable-size slices from all ranks at root and
+// concatenates them in rank order.
+func GatherVariable[T any](p *Proc, root int, xs []T) []T {
+	parts := Gather(p, root, xs)
+	if p.Rank() != root {
+		return nil
+	}
+	var out []T
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// AllGatherVariable collects variable-size slices from all ranks on every
+// rank, concatenated in rank order.
+func AllGatherVariable[T any](p *Proc, xs []T) []T {
+	parts := AllGather(p, xs)
+	var out []T
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// SortedAllGatherKeys is a convenience for tests and protocols that need a
+// deterministic global ordering of per-rank integer keys.
+func SortedAllGatherKeys(p *Proc, keys []int) []int {
+	all := AllGatherVariable(p, keys)
+	sort.Ints(all)
+	return all
+}

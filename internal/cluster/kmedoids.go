@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"genomeatscale/internal/sparse"
+	"genomeatscale/internal/synth"
+)
+
+// KMedoidsResult describes a k-medoids clustering of samples under a
+// precomputed distance matrix.
+type KMedoidsResult struct {
+	// Medoids are the sample indices chosen as cluster centres.
+	Medoids []int
+	// Assignment[i] is the index into Medoids of sample i's cluster.
+	Assignment []int
+	// Cost is the total distance of samples to their medoids.
+	Cost float64
+	// Iterations is the number of improvement sweeps performed.
+	Iterations int
+}
+
+// KMedoids clusters the samples into k groups using the PAM-style
+// alternate/swap heuristic over a precomputed distance matrix. Because only
+// pairwise distances are needed, it works directly with the Jaccard
+// distance matrix produced by SimilarityAtScale — the property the paper
+// highlights when discussing clustering of categorical data (Section II-C).
+func KMedoids(d *sparse.Dense[float64], k int, seed uint64, maxIter int) (*KMedoidsResult, error) {
+	if d == nil || d.Rows != d.Cols || d.Rows == 0 {
+		return nil, fmt.Errorf("cluster: invalid distance matrix")
+	}
+	n := d.Rows
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("cluster: k must be in [1,%d], got %d", n, k)
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	rng := synth.NewRNG(seed ^ 0xC10C)
+	// Initial medoids: farthest-point seeding — the first medoid is random,
+	// each subsequent one is the sample farthest from its nearest existing
+	// medoid. This spreads the initial centres across well-separated groups.
+	medoids := make([]int, 0, k)
+	medoids = append(medoids, rng.Intn(n))
+	for len(medoids) < k {
+		best, bestDist := -1, -1.0
+		for i := 0; i < n; i++ {
+			nearest := math.Inf(1)
+			for _, m := range medoids {
+				if dm := d.At(i, m); dm < nearest {
+					nearest = dm
+				}
+			}
+			if nearest > bestDist {
+				bestDist = nearest
+				best = i
+			}
+		}
+		medoids = append(medoids, best)
+	}
+	assign := make([]int, n)
+	assignAll := func() float64 {
+		var cost float64
+		for i := 0; i < n; i++ {
+			best, bestDist := 0, math.Inf(1)
+			for mi, m := range medoids {
+				if dm := d.At(i, m); dm < bestDist {
+					best, bestDist = mi, dm
+				}
+			}
+			assign[i] = best
+			cost += bestDist
+		}
+		return cost
+	}
+	cost := assignAll()
+	iterations := 0
+	for iter := 0; iter < maxIter; iter++ {
+		iterations = iter + 1
+		improved := false
+		// For each cluster, move the medoid to the member minimising the
+		// within-cluster distance sum.
+		for mi := range medoids {
+			bestMedoid := medoids[mi]
+			bestCost := math.Inf(1)
+			for i := 0; i < n; i++ {
+				if assign[i] != mi {
+					continue
+				}
+				var c float64
+				for j := 0; j < n; j++ {
+					if assign[j] == mi {
+						c += d.At(i, j)
+					}
+				}
+				if c < bestCost {
+					bestCost = c
+					bestMedoid = i
+				}
+			}
+			if bestMedoid != medoids[mi] {
+				medoids[mi] = bestMedoid
+				improved = true
+			}
+		}
+		newCost := assignAll()
+		if !improved || newCost >= cost-1e-12 {
+			cost = newCost
+			break
+		}
+		cost = newCost
+	}
+	return &KMedoidsResult{
+		Medoids:    medoids,
+		Assignment: assign,
+		Cost:       cost,
+		Iterations: iterations,
+	}, nil
+}
+
+// ClusterSizes returns the number of samples in each cluster.
+func (r *KMedoidsResult) ClusterSizes() []int {
+	sizes := make([]int, len(r.Medoids))
+	for _, a := range r.Assignment {
+		sizes[a]++
+	}
+	return sizes
+}

@@ -1,0 +1,156 @@
+// Package core implements SimilarityAtScale, the communication-efficient
+// distributed algorithm for all-pairs Jaccard similarity described in
+// Sections III and IV of the paper. Data samples are sets of attribute
+// indices (for GenomeAtScale, the k-mers present in a sequencing sample);
+// the algorithm encodes them as a hypersparse indicator matrix A ∈ {0,1}^(m×n),
+// processes A in row batches, filters empty rows with a distributed filter
+// vector, compresses row segments into b-bit masks, and accumulates
+// B = AᵀA with a popcount-AND semiring before deriving the similarity
+// matrix S and distance matrix D = 1 − S.
+//
+// Three computation paths are provided and cross-checked in tests:
+//
+//   - ExactJaccard: a brute-force set implementation (the semantic oracle).
+//   - ComputeSequential: the single-process algebraic pipeline with
+//     batching, filtering and bitmask compression.
+//   - Compute: the fully distributed pipeline over the BSP runtime and the
+//     processor-grid Gram engine in internal/dist.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dataset is the abstract input of SimilarityAtScale: n data samples, each
+// a set of attribute indices drawn from [0, NumAttributes). For genome
+// comparisons a sample is the set of k-mer codes appearing in one
+// sequencing experiment and NumAttributes is 4^k.
+type Dataset interface {
+	// NumSamples returns n, the number of data samples (columns of A).
+	NumSamples() int
+	// NumAttributes returns m, the size of the attribute universe (rows of A).
+	NumAttributes() uint64
+	// Sample returns the sorted, duplicate-free attribute indices of sample i.
+	// The returned slice must not be modified.
+	Sample(i int) []uint64
+	// SampleName returns a human-readable identifier for sample i.
+	SampleName(i int) string
+}
+
+// InMemoryDataset is the simplest Dataset: all samples held in memory.
+type InMemoryDataset struct {
+	names      []string
+	samples    [][]uint64
+	attributes uint64
+}
+
+// NewInMemoryDataset builds a dataset from raw (possibly unsorted,
+// possibly duplicated) attribute lists. Attribute values must be smaller
+// than numAttributes.
+func NewInMemoryDataset(names []string, samples [][]uint64, numAttributes uint64) (*InMemoryDataset, error) {
+	if len(names) != 0 && len(names) != len(samples) {
+		return nil, fmt.Errorf("core: %d names for %d samples", len(names), len(samples))
+	}
+	ds := &InMemoryDataset{attributes: numAttributes}
+	for i, s := range samples {
+		cleaned := dedupSorted(s)
+		if len(cleaned) > 0 && cleaned[len(cleaned)-1] >= numAttributes {
+			return nil, fmt.Errorf("core: sample %d contains attribute %d ≥ m=%d", i, cleaned[len(cleaned)-1], numAttributes)
+		}
+		ds.samples = append(ds.samples, cleaned)
+		if len(names) != 0 {
+			ds.names = append(ds.names, names[i])
+		} else {
+			ds.names = append(ds.names, fmt.Sprintf("sample-%d", i))
+		}
+	}
+	return ds, nil
+}
+
+// MustInMemoryDataset is NewInMemoryDataset that panics on error; intended
+// for tests and examples with known-good inputs.
+func MustInMemoryDataset(names []string, samples [][]uint64, numAttributes uint64) *InMemoryDataset {
+	ds, err := NewInMemoryDataset(names, samples, numAttributes)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// NumSamples implements Dataset.
+func (d *InMemoryDataset) NumSamples() int { return len(d.samples) }
+
+// NumAttributes implements Dataset.
+func (d *InMemoryDataset) NumAttributes() uint64 { return d.attributes }
+
+// Sample implements Dataset.
+func (d *InMemoryDataset) Sample(i int) []uint64 { return d.samples[i] }
+
+// SampleName implements Dataset.
+func (d *InMemoryDataset) SampleName(i int) string { return d.names[i] }
+
+// TotalNonzeros returns the total number of (attribute, sample) pairs, i.e.
+// the number of nonzeros of the indicator matrix A.
+func TotalNonzeros(ds Dataset) int64 {
+	var total int64
+	for i := 0; i < ds.NumSamples(); i++ {
+		total += int64(len(ds.Sample(i)))
+	}
+	return total
+}
+
+// Density returns nnz(A) / (m·n).
+func Density(ds Dataset) float64 {
+	n := ds.NumSamples()
+	m := ds.NumAttributes()
+	if n == 0 || m == 0 {
+		return 0
+	}
+	return float64(TotalNonzeros(ds)) / (float64(m) * float64(n))
+}
+
+// dedupSorted sorts a copy of xs and removes duplicates.
+func dedupSorted(xs []uint64) []uint64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	out := append([]uint64(nil), xs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// rangeSlice returns the sub-slice of a sorted sample whose values fall in
+// [lo, hi); this is how a batch extracts its share of each sample without
+// materialising the full indicator matrix.
+func rangeSlice(sorted []uint64, lo, hi uint64) []uint64 {
+	start := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= lo })
+	end := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= hi })
+	return sorted[start:end]
+}
+
+// batchBounds returns the attribute range [lo, hi) of batch l when the m
+// attributes are split into batchCount equal ranges (Eq. 3). The last batch
+// absorbs the remainder.
+func batchBounds(m uint64, batchCount, l int) (lo, hi uint64) {
+	per := m / uint64(batchCount)
+	if per == 0 {
+		per = 1
+	}
+	lo = uint64(l) * per
+	if lo > m {
+		lo = m
+	}
+	hi = lo + per
+	if l == batchCount-1 || hi > m {
+		hi = m
+	}
+	return lo, hi
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"genomeatscale/internal/bitmat"
+	"genomeatscale/internal/bsp"
+	"genomeatscale/internal/dist"
+)
+
+// Compute runs the fully distributed SimilarityAtScale pipeline on
+// opts.Procs virtual BSP ranks arranged as a √(p/c) × √(p/c) × c processor
+// grid with c = opts.Replication. The structure follows Listing 1 of the
+// paper:
+//
+//	for each batch A(l):
+//	    each rank reads its (cyclically owned) samples' values in the batch
+//	    the distributed filter vector f(l) marks non-empty rows        (Eq. 5)
+//	    the replicated prefix sum maps rows to compacted positions      (Eq. 6)
+//	    row segments are packed into MaskBits-wide words                (Â(l))
+//	    the processor grid computes and accumulates Â(l)ᵀÂ(l)           (Eq. 7)
+//	â is accumulated per rank and combined once at the end              (Eq. 4)
+//	S and D are derived blockwise and optionally gathered at rank 0     (Eq. 2)
+//
+// All communication flows through the BSP runtime, so Result.Stats.Comm
+// reports the exact per-superstep byte volumes of the run.
+func Compute(ds Dataset, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n := ds.NumSamples()
+	if n == 0 {
+		return nil, fmt.Errorf("core: dataset has no samples")
+	}
+	m := ds.NumAttributes()
+	if m > uint64(1)<<62 {
+		return nil, fmt.Errorf("core: attribute universe %d exceeds 2^62; remap attributes to a smaller universe", m)
+	}
+
+	res := &Result{N: n, Names: sampleNames(ds)}
+	res.Stats.IndicatorNonzeros = TotalNonzeros(ds)
+
+	commStats, err := bsp.Run(opts.Procs, func(p *bsp.Proc) error {
+		ctx := dist.NewContext(p, opts.Replication)
+		engine := dist.NewGramEngine(ctx, n)
+
+		owned := ctx.OwnedSamples(n)
+		localCounts := make([]int64, n)
+		for _, j := range owned {
+			localCounts[j] = int64(len(ds.Sample(j)))
+		}
+
+		for l := 0; l < opts.BatchCount; l++ {
+			batchStart := time.Now()
+			lo, hi := batchBounds(m, opts.BatchCount, l)
+
+			// Gather this rank's slice of the batch: attribute values of the
+			// samples it owns, re-based to the batch origin.
+			type colRows struct {
+				col  int
+				rows []uint64
+			}
+			var ownedRows []colRows
+			var localRows []int64
+			if lo < hi {
+				for _, j := range owned {
+					vals := rangeSlice(ds.Sample(j), lo, hi)
+					if len(vals) == 0 {
+						continue
+					}
+					ownedRows = append(ownedRows, colRows{col: j, rows: vals})
+					for _, v := range vals {
+						localRows = append(localRows, int64(v-lo))
+					}
+				}
+			}
+
+			// Filter vector and replicated prefix sum.
+			length := int64(hi - lo)
+			if length <= 0 {
+				length = 1
+			}
+			filter := dist.NewFilterVector(ctx, length)
+			filter.Write(localRows)
+			nonzero := filter.Replicate()
+			active := len(nonzero)
+			wordRows := (active + opts.MaskBits - 1) / opts.MaskBits
+
+			// Compression: pack each owned sample's compacted rows.
+			var entries []bitmat.PackedEntry
+			for _, cr := range ownedRows {
+				perWord := make(map[int]uint64)
+				for _, v := range cr.rows {
+					ci := dist.CompactIndex(nonzero, int64(v-lo))
+					if ci < 0 {
+						return fmt.Errorf("core: batch %d row %d missing from filter", l, v-lo)
+					}
+					perWord[ci/opts.MaskBits] |= 1 << uint(ci%opts.MaskBits)
+				}
+				for w, word := range perWord {
+					entries = append(entries, bitmat.PackedEntry{WordRow: w, Col: cr.col, Word: word})
+				}
+			}
+
+			engine.AddBatch(entries, wordRows, opts.MaskBits, active)
+
+			if p.Rank() == 0 {
+				res.Stats.Batches++
+				res.Stats.BatchSeconds = append(res.Stats.BatchSeconds, time.Since(batchStart).Seconds())
+				res.Stats.ActiveRowsPerBatch = append(res.Stats.ActiveRowsPerBatch, int64(active))
+			}
+		}
+
+		// Combine the per-sample cardinalities. Each sample is owned by
+		// exactly one rank, so an elementwise sum assembles â.
+		counts := bsp.AllReduceSlice(p, localCounts, func(a, b int64) int64 { return a + b })
+		blocks := engine.Finalize(counts)
+
+		if p.Rank() == 0 {
+			res.Cardinalities = counts
+		}
+		if !opts.SkipGather {
+			b := blocks.GatherB(0)
+			s := blocks.GatherS(0)
+			d := blocks.GatherD(0)
+			if p.Rank() == 0 {
+				res.B, res.S, res.D = b, s, d
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Comm = commStats
+	res.Stats.TotalSeconds = time.Since(start).Seconds()
+	return res, nil
+}

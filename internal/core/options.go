@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"genomeatscale/internal/bsp"
+	"genomeatscale/internal/sparse"
+)
+
+// Options configures a SimilarityAtScale run. The zero value is not usable;
+// call DefaultOptions or fill every relevant field and call Validate.
+type Options struct {
+	// BatchCount is the number of row batches the indicator matrix is split
+	// into (r in Eq. 3). Larger values reduce the peak memory of a batch at
+	// the cost of more synchronisation; the paper's batch-size sensitivity
+	// experiments (Fig. 2c, 2d) vary exactly this parameter.
+	BatchCount int
+
+	// MaskBits is the bitmask width b used to compress row segments
+	// (Section III-B). The paper uses 32 or 64; 64 is the default.
+	MaskBits int
+
+	// Procs is the number of virtual BSP ranks used by the distributed path.
+	// The paper runs 32 MPI processes per node; our benchmarks express node
+	// counts as Procs = 32 × nodes scaled down for in-process execution.
+	Procs int
+
+	// Replication is the processor-grid replication factor c of the
+	// √(p/c) × √(p/c) × c layout (Section III-C).
+	Replication int
+
+	// SkipGather, when true, leaves the similarity matrix distributed and
+	// does not assemble a full copy at rank 0. Use for large n where only
+	// timing/communication statistics are of interest.
+	SkipGather bool
+}
+
+// DefaultOptions returns options matching the paper's defaults: 64-bit
+// masks, a single batch, one process, no replication.
+func DefaultOptions() Options {
+	return Options{BatchCount: 1, MaskBits: 64, Procs: 1, Replication: 1}
+}
+
+// Validate checks option consistency.
+func (o Options) Validate() error {
+	if o.BatchCount <= 0 {
+		return fmt.Errorf("core: BatchCount must be positive, got %d", o.BatchCount)
+	}
+	if o.MaskBits <= 0 || o.MaskBits > 64 {
+		return fmt.Errorf("core: MaskBits must be in [1,64], got %d", o.MaskBits)
+	}
+	if o.Procs <= 0 {
+		return fmt.Errorf("core: Procs must be positive, got %d", o.Procs)
+	}
+	if o.Replication <= 0 {
+		return fmt.Errorf("core: Replication must be positive, got %d", o.Replication)
+	}
+	return nil
+}
+
+// RunStats reports per-run measurements used by the benchmark harness.
+type RunStats struct {
+	// Batches is the number of batches processed.
+	Batches int
+	// BatchSeconds holds the wall-clock duration of each batch as observed
+	// by rank 0 (sequential path: the single process).
+	BatchSeconds []float64
+	// TotalSeconds is the end-to-end wall-clock duration.
+	TotalSeconds float64
+	// IndicatorNonzeros is nnz(A), summed over all batches.
+	IndicatorNonzeros int64
+	// ActiveRowsPerBatch is the number of nonzero rows each batch retained
+	// after filtering (|f(l)| in Eq. 5).
+	ActiveRowsPerBatch []int64
+	// Comm holds the BSP communication statistics of the distributed path
+	// (nil for the sequential path).
+	Comm *bsp.Stats
+}
+
+// Result is the output of a SimilarityAtScale run.
+type Result struct {
+	// N is the number of samples.
+	N int
+	// Names are the sample names, in column order.
+	Names []string
+	// Cardinalities holds |X_i| for every sample (â in Eq. 4).
+	Cardinalities []int64
+	// B is the intersection-cardinality matrix (nil if SkipGather).
+	B *sparse.Dense[int64]
+	// S is the Jaccard similarity matrix (nil if SkipGather).
+	S *sparse.Dense[float64]
+	// D is the Jaccard distance matrix, D = 1 − S (nil if SkipGather).
+	D *sparse.Dense[float64]
+	// Stats holds run measurements.
+	Stats RunStats
+}
+
+// Similarity returns S[i][j]; it panics if the matrices were not gathered.
+func (r *Result) Similarity(i, j int) float64 {
+	if r.S == nil {
+		panic("core: similarity matrix was not gathered (SkipGather set)")
+	}
+	return r.S.At(i, j)
+}
+
+// Distance returns D[i][j]; it panics if the matrices were not gathered.
+func (r *Result) Distance(i, j int) float64 {
+	if r.D == nil {
+		panic("core: distance matrix was not gathered (SkipGather set)")
+	}
+	return r.D.At(i, j)
+}

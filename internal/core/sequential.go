@@ -1,0 +1,137 @@
+package core
+
+import (
+	"slices"
+	"time"
+
+	"genomeatscale/internal/bitmat"
+	"genomeatscale/internal/sparse"
+)
+
+// ComputeSequential runs the SimilarityAtScale pipeline on a single
+// process: the indicator matrix is processed in BatchCount row batches;
+// each batch filters out empty rows, compresses the surviving rows into
+// MaskBits-wide masks, and accumulates its Gram contribution into B with
+// the popcount kernel (Listing 1 of the paper, without the distribution).
+// It serves both as the single-node execution mode of GenomeAtScale and as
+// the reference the distributed path is verified against.
+func ComputeSequential(ds Dataset, opts Options) (*Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n := ds.NumSamples()
+	m := ds.NumAttributes()
+
+	res := &Result{
+		N:             n,
+		Names:         sampleNames(ds),
+		Cardinalities: make([]int64, n),
+	}
+	b := sparse.NewDense[int64](n, n)
+
+	for i := 0; i < n; i++ {
+		res.Cardinalities[i] = int64(len(ds.Sample(i)))
+		res.Stats.IndicatorNonzeros += int64(len(ds.Sample(i)))
+	}
+
+	for l := 0; l < opts.BatchCount; l++ {
+		batchStart := time.Now()
+		lo, hi := batchBounds(m, opts.BatchCount, l)
+		if lo >= hi {
+			res.Stats.Batches++
+			res.Stats.BatchSeconds = append(res.Stats.BatchSeconds, time.Since(batchStart).Seconds())
+			res.Stats.ActiveRowsPerBatch = append(res.Stats.ActiveRowsPerBatch, 0)
+			continue
+		}
+
+		// Build the filter f(l): the sorted distinct attribute values present
+		// in this batch across all samples (Eq. 5), then the per-sample
+		// compacted row lists via the prefix-sum positions (Eq. 6).
+		batchValues := make([][]uint64, n)
+		filter := make(map[uint64]struct{})
+		for j := 0; j < n; j++ {
+			vals := rangeSlice(ds.Sample(j), lo, hi)
+			batchValues[j] = vals
+			for _, v := range vals {
+				filter[v] = struct{}{}
+			}
+		}
+		nonzeroRows := sortedKeys(filter)
+		active := len(nonzeroRows)
+		res.Stats.ActiveRowsPerBatch = append(res.Stats.ActiveRowsPerBatch, int64(active))
+
+		// Compress: pack each sample's compacted rows into MaskBits-wide
+		// words (Â(l), Section III-B) and accumulate the Gram contribution.
+		rowsPerCol := make([][]int, n)
+		for j := 0; j < n; j++ {
+			vals := batchValues[j]
+			if len(vals) == 0 {
+				continue
+			}
+			rows := make([]int, len(vals))
+			for k, v := range vals {
+				rows[k] = searchSorted(nonzeroRows, v)
+			}
+			rowsPerCol[j] = rows
+		}
+		packed := bitmat.PackColumns(rowsPerCol, active, opts.MaskBits)
+		packed.GramAccumulate(b)
+
+		res.Stats.Batches++
+		res.Stats.BatchSeconds = append(res.Stats.BatchSeconds, time.Since(batchStart).Seconds())
+	}
+
+	finalize(res, b, opts)
+	res.Stats.TotalSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// finalize derives S and D from B and the per-sample cardinalities (Eq. 2).
+func finalize(res *Result, b *sparse.Dense[int64], opts Options) {
+	if opts.SkipGather {
+		return
+	}
+	n := res.N
+	res.B = b
+	res.S = sparse.NewDense[float64](n, n)
+	res.D = sparse.NewDense[float64](n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			bij := b.At(i, j)
+			cij := res.Cardinalities[i] + res.Cardinalities[j] - bij
+			var s float64
+			if cij == 0 {
+				s = 1
+			} else {
+				s = float64(bij) / float64(cij)
+			}
+			res.S.Set(i, j, s)
+			res.D.Set(i, j, 1-s)
+		}
+	}
+}
+
+func sampleNames(ds Dataset) []string {
+	names := make([]string, ds.NumSamples())
+	for i := range names {
+		names[i] = ds.SampleName(i)
+	}
+	return names
+}
+
+func sortedKeys(set map[uint64]struct{}) []uint64 {
+	out := make([]uint64, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// searchSorted returns the index of v in the sorted slice xs; v must be
+// present (guaranteed by construction of the filter).
+func searchSorted(xs []uint64, v uint64) int {
+	idx, _ := slices.BinarySearch(xs, v)
+	return idx
+}

@@ -1,0 +1,377 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"genomeatscale/internal/bsp"
+)
+
+func TestMachineProfilesValidate(t *testing.T) {
+	for _, m := range []Machine{Stampede2KNL(), Stampede2KNLNoMCDRAM()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	bad := Machine{Alpha: 1e-9, Beta: 1e-8, Gamma: 1e-7, MemWords: 1, RanksPerNode: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("α < β < γ should fail the paper's α ≥ β ≥ γ assumption")
+	}
+	if err := (Machine{}).Validate(); err == nil {
+		t.Error("zero machine should fail")
+	}
+	m := Stampede2KNL()
+	m.MemWords = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero memory should fail")
+	}
+	m = Stampede2KNL()
+	m.RanksPerNode = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero ranks per node should fail")
+	}
+}
+
+func TestProblemDefaults(t *testing.T) {
+	pr := Problem{Samples: 10, BatchNonzeros: 1000}.withDefaults()
+	if pr.WordRows != 1000.0/64 {
+		t.Errorf("WordRows default = %v, want %v", pr.WordRows, 1000.0/64)
+	}
+	// Flops estimate z²/h is capped by z·n = 10000.
+	if pr.Flops != 10000 {
+		t.Errorf("Flops default = %v, want 10000 (z·n cap)", pr.Flops)
+	}
+	// When BatchRows is smaller than z it bounds the word-row count.
+	pr2 := Problem{Samples: 1000, BatchNonzeros: 1e6, BatchRows: 6400}.withDefaults()
+	if pr2.WordRows != 100 {
+		t.Errorf("WordRows = %v, want 100", pr2.WordRows)
+	}
+	// Explicit WordRows wins, and z²/h applies when below the z·n cap.
+	pr3 := Problem{Samples: 100000, BatchNonzeros: 1e6, WordRows: 100}.withDefaults()
+	if pr3.Flops != 1e12/100 {
+		t.Errorf("Flops = %v, want z²/h", pr3.Flops)
+	}
+	// Floor: at least one operation per nonzero.
+	pr4 := Problem{Samples: 1, BatchNonzeros: 50, WordRows: 1e9}.withDefaults()
+	if pr4.Flops != 50 {
+		t.Errorf("Flops floor = %v, want 50", pr4.Flops)
+	}
+}
+
+func TestBatchTimePositiveAndMonotoneInWork(t *testing.T) {
+	m := Stampede2KNL()
+	small := BatchTime(m, Problem{Samples: 1000, BatchNonzeros: 1e6}, 64, 1)
+	large := BatchTime(m, Problem{Samples: 1000, BatchNonzeros: 1e8}, 64, 1)
+	if small <= 0 || large <= 0 {
+		t.Fatal("times must be positive")
+	}
+	if large <= small {
+		t.Error("more nonzeros must cost more")
+	}
+}
+
+func TestBatchTimeStrongScalingImproves(t *testing.T) {
+	// With fixed work and n ≫ p, more processors must not increase the time.
+	m := Stampede2KNL()
+	pr := Problem{Samples: 500000, BatchNonzeros: 1e10}
+	prev := math.Inf(1)
+	for _, p := range []int{32, 64, 128, 256, 1024, 4096} {
+		bt := BatchTime(m, pr, p, Replication(m, pr.Samples, p))
+		if bt > prev*1.001 {
+			t.Errorf("p=%d: batch time %v worse than previous %v", p, bt, prev)
+		}
+		prev = bt
+	}
+}
+
+func TestBatchTimeLoadImbalanceBeyondSamples(t *testing.T) {
+	// Kingsford effect: once ranks exceed the sample count, compute stops
+	// improving, so total time at 8192 ranks should not be much better than
+	// at 2048 ranks for n = 2580.
+	m := Stampede2KNL()
+	pr := Problem{Samples: 2580, BatchNonzeros: 1e9}
+	at2048 := BatchTime(m, pr, 2048, 1)
+	at8192 := BatchTime(m, pr, 8192, 1)
+	if at8192 < at2048*0.55 {
+		t.Errorf("beyond n ranks scaling should saturate: %v vs %v", at8192, at2048)
+	}
+}
+
+func TestBatchTimePanicsAndClamps(t *testing.T) {
+	m := Stampede2KNL()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for p <= 0")
+		}
+	}()
+	_ = BatchTime(m, Problem{Samples: 1, BatchNonzeros: 1}, 0, 1)
+}
+
+func TestBatchTimeReplicationClamp(t *testing.T) {
+	m := Stampede2KNL()
+	pr := Problem{Samples: 100, BatchNonzeros: 1e6}
+	a := BatchTime(m, pr, 16, 0)   // c < 1 clamps to 1
+	b := BatchTime(m, pr, 16, 100) // c > p clamps to p
+	if a <= 0 || b <= 0 {
+		t.Error("clamped calls must still produce positive times")
+	}
+}
+
+func TestTimeFromStats(t *testing.T) {
+	m := Stampede2KNL()
+	if TimeFromStats(m, nil) != 0 {
+		t.Error("nil stats should be 0")
+	}
+	stats, err := bsp.Run(4, func(p *bsp.Proc) error {
+		p.AddFlops(1000)
+		bsp.AllReduce(p, int64(p.Rank()), func(a, b int64) int64 { return a + b })
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := TimeFromStats(m, stats)
+	if got <= 0 {
+		t.Error("measured stats should give positive time")
+	}
+	want := float64(stats.Supersteps)*m.Alpha + float64(stats.SumHRelations())/8*m.Beta + float64(stats.MaxFlops())*m.Gamma
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("TimeFromStats = %v, want %v", got, want)
+	}
+}
+
+func TestReplicationBounds(t *testing.T) {
+	m := Stampede2KNL()
+	if Replication(m, 0, 64) != 1 || Replication(m, 100, 0) != 1 {
+		t.Error("degenerate inputs should give 1")
+	}
+	// Huge n → c = 1 (no memory for replication).
+	if Replication(m, 10_000_000, 64) != 1 {
+		t.Error("huge n should give c = 1")
+	}
+	// Tiny n → c capped at p^(1/3) (the useful replication limit of 2.5D/3D
+	// schemes), not at p.
+	if got := Replication(m, 10, 64); got != 4 {
+		t.Errorf("tiny n should give c = p^(1/3) = 4, got %d", got)
+	}
+	// c grows with p for fixed n.
+	cSmall := Replication(m, 50000, 128)
+	cLarge := Replication(m, 50000, 4096)
+	if cLarge < cSmall {
+		t.Error("replication should not shrink with more processors")
+	}
+}
+
+func TestBatches(t *testing.T) {
+	m := Stampede2KNL()
+	if Batches(m, 100, 64) != 1 {
+		t.Error("tiny dataset should use 1 batch")
+	}
+	small := Batches(m, 1e12, 32)
+	large := Batches(m, 1e12, 1024)
+	if small <= large {
+		t.Errorf("more ranks → larger batches → fewer batches (%d vs %d)", small, large)
+	}
+	if Batches(m, 1e12, 0) != 1 {
+		t.Error("degenerate p should give 1")
+	}
+}
+
+func TestDatasetShapes(t *testing.T) {
+	k := KingsfordShape()
+	b := BIGSIShape()
+	if k.Samples != 2580 || b.Samples != 446506 {
+		t.Error("sample counts must match the paper")
+	}
+	if k.TotalNonzeros <= 0 || b.TotalNonzeros <= 0 {
+		t.Error("nonzero counts must be positive")
+	}
+	// BIGSI has far more samples; per-sample k-mer counts differ, but both
+	// are in a plausible 10⁶–10⁹ per-sample range.
+	perSampleK := k.TotalNonzeros / float64(k.Samples)
+	perSampleB := b.TotalNonzeros / float64(b.Samples)
+	if perSampleK < 1e6 || perSampleK > 1e9 {
+		t.Errorf("Kingsford per-sample nonzeros implausible: %v", perSampleK)
+	}
+	if perSampleB < 1e6 || perSampleB > 1e9 {
+		t.Errorf("BIGSI per-sample nonzeros implausible: %v", perSampleB)
+	}
+}
+
+func TestStrongScalingBIGSIShape(t *testing.T) {
+	m := Stampede2KNL()
+	points, err := StrongScaling(m, BIGSIShape(), []int{128, 256, 512, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatal("wrong number of points")
+	}
+	// Projected total time must decrease with node count (Fig. 2b shape) and
+	// batch count must shrink as batch size doubles.
+	for i := 1; i < len(points); i++ {
+		if points[i].TotalSeconds >= points[i-1].TotalSeconds {
+			t.Errorf("total time not decreasing at %d nodes", points[i].Nodes)
+		}
+		if points[i].Batches > points[i-1].Batches {
+			t.Errorf("batch count should shrink with more nodes")
+		}
+		if points[i].Efficiency <= 0.3 {
+			t.Errorf("efficiency collapsed at %d nodes: %v", points[i].Nodes, points[i].Efficiency)
+		}
+	}
+	if points[0].Efficiency != 1 {
+		t.Error("first point efficiency must be 1")
+	}
+}
+
+func TestStrongScalingKingsfordSweetSpot(t *testing.T) {
+	// Fig. 2a: performance improves up to a sweet spot and then degrades
+	// once the rank count far exceeds the 2,580 samples.
+	m := Stampede2KNL()
+	points, err := StrongScaling(m, KingsfordShape(), []int{1, 2, 4, 8, 16, 32, 64, 128, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for i, p := range points {
+		if p.TotalSeconds < points[best].TotalSeconds {
+			best = i
+		}
+	}
+	if points[best].Nodes < 4 || points[best].Nodes > 128 {
+		t.Errorf("sweet spot at %d nodes, expected an interior optimum", points[best].Nodes)
+	}
+	// Beyond the sweet spot, efficiency must decline.
+	last := points[len(points)-1]
+	if last.Efficiency >= points[best].Efficiency {
+		t.Error("efficiency should decline past the sweet spot")
+	}
+	// The best speed-up over a single node should be an order of magnitude
+	// or more (the paper reports 42.2×).
+	speedup := points[0].TotalSeconds / points[best].TotalSeconds
+	if speedup < 5 {
+		t.Errorf("best speed-up only %.1f×", speedup)
+	}
+}
+
+func TestStrongScalingErrors(t *testing.T) {
+	m := Stampede2KNL()
+	if _, err := StrongScaling(m, DatasetShape{}, []int{1}); err == nil {
+		t.Error("invalid shape should error")
+	}
+	if _, err := StrongScaling(m, KingsfordShape(), []int{0}); err == nil {
+		t.Error("invalid node count should error")
+	}
+	bad := m
+	bad.Alpha = 0
+	if _, err := StrongScaling(bad, KingsfordShape(), []int{1}); err == nil {
+		t.Error("invalid machine should error")
+	}
+}
+
+func TestBatchSensitivityShape(t *testing.T) {
+	// Figures 2c/2d: the projected total time decreases as the batch size
+	// increases (i.e. as the batch count decreases).
+	m := Stampede2KNL()
+	points, err := BatchSensitivity(m, KingsfordShape(), 8, []int{16384, 8192, 4096, 2048, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].TotalSeconds >= points[i-1].TotalSeconds {
+			t.Errorf("total time should decrease with larger batches (index %d)", i)
+		}
+		if points[i].BatchSeconds <= points[i-1].BatchSeconds {
+			t.Errorf("per-batch time should grow with batch size (index %d)", i)
+		}
+	}
+	if _, err := BatchSensitivity(m, KingsfordShape(), 0, []int{1}); err == nil {
+		t.Error("invalid nodes should error")
+	}
+	if _, err := BatchSensitivity(m, KingsfordShape(), 8, []int{0}); err == nil {
+		t.Error("invalid batch count should error")
+	}
+	bad := m
+	bad.Beta = 0
+	if _, err := BatchSensitivity(bad, KingsfordShape(), 8, []int{1}); err == nil {
+		t.Error("invalid machine should error")
+	}
+}
+
+func TestWeakScalingShape(t *testing.T) {
+	m := Stampede2KNL()
+	points, err := WeakScaling(m, 50000, 500, 0.01, []int{1, 4, 16, 64, 256, 1024, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Work per rank grows with the schedule (the paper reports 64× more
+	// work per processor from 1 to 4096 cores); time grows slower than the
+	// work per rank (their 1.81× efficiency improvement).
+	first, last := points[0], points[len(points)-1]
+	workRatio := last.WorkPerRank / first.WorkPerRank
+	timeRatio := last.TotalSeconds / first.TotalSeconds
+	if workRatio <= 1 {
+		t.Fatalf("work per rank should grow, ratio %v", workRatio)
+	}
+	if timeRatio >= workRatio {
+		t.Errorf("time ratio %v should be below work ratio %v", timeRatio, workRatio)
+	}
+	if _, err := WeakScaling(m, 0, 1, 0.1, []int{1}); err == nil {
+		t.Error("invalid base should error")
+	}
+	if _, err := WeakScaling(m, 100, 10, 0.1, []int{0}); err == nil {
+		t.Error("invalid ranks should error")
+	}
+	bad := m
+	bad.Gamma = 0
+	if _, err := WeakScaling(bad, 100, 10, 0.1, []int{1}); err == nil {
+		t.Error("invalid machine should error")
+	}
+}
+
+func TestSparsitySweepShape(t *testing.T) {
+	m := Stampede2KNL()
+	densities := []float64{1e-4, 3e-4, 1e-3, 3e-3, 1e-2}
+	points, err := SparsitySweep(m, 32e6, 10000, 16, 4, densities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].TotalSeconds <= points[i-1].TotalSeconds {
+			t.Errorf("denser data must take longer (index %d)", i)
+		}
+	}
+	// Nearly-ideal scaling with density (Fig. 3): 100× density within ~300×
+	// time (super-linear because flops grow quadratically in z, but the
+	// low-density end is latency dominated).
+	ratio := points[len(points)-1].TotalSeconds / points[0].TotalSeconds
+	if ratio < 10 {
+		t.Errorf("time should grow substantially across the sweep, ratio %v", ratio)
+	}
+	if _, err := SparsitySweep(m, 32e6, 10000, 0, 4, densities); err == nil {
+		t.Error("invalid nodes should error")
+	}
+	if _, err := SparsitySweep(m, 32e6, 10000, 16, 4, []float64{0}); err == nil {
+		t.Error("invalid density should error")
+	}
+	bad := m
+	bad.MemWords = 0
+	if _, err := SparsitySweep(bad, 32e6, 10000, 16, 4, densities); err == nil {
+		t.Error("invalid machine should error")
+	}
+}
+
+func TestMCDRAMComparisonNegligible(t *testing.T) {
+	with, without := MCDRAMComparison(KingsfordShape(), 4, 256)
+	if with <= 0 || without <= 0 {
+		t.Fatal("times must be positive")
+	}
+	if without <= with {
+		t.Error("disabling the MCDRAM cache should not speed things up")
+	}
+	// The paper's observation: the difference is negligible (a few percent).
+	if (without-with)/with > 0.1 {
+		t.Errorf("MCDRAM ablation should be small, got %.1f%%", 100*(without-with)/with)
+	}
+}

@@ -1,0 +1,222 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// ScalingPoint is one row of a scaling experiment: a node count with its
+// per-batch time, batch count, and projected total runtime, mirroring the
+// annotations of Figures 2a and 2b ("1st number: time / batch, 2nd number:
+// #batches", y-axis: projected total time).
+type ScalingPoint struct {
+	// Nodes is the node count; Ranks = Nodes × RanksPerNode.
+	Nodes int
+	// Ranks is the MPI rank count.
+	Ranks int
+	// Replication is the chosen replication factor c.
+	Replication int
+	// Batches is the number of batches of the full dataset.
+	Batches int
+	// BatchSeconds is the projected per-batch time.
+	BatchSeconds float64
+	// TotalSeconds is the projected total time (BatchSeconds × Batches).
+	TotalSeconds float64
+	// Efficiency is the strong-scaling parallel efficiency relative to the
+	// first point of the series (1 for the first point).
+	Efficiency float64
+}
+
+// DatasetShape describes a full dataset for scaling projections.
+type DatasetShape struct {
+	// Name labels the dataset in reports.
+	Name string
+	// Samples is n.
+	Samples int
+	// Attributes is m, the number of rows of the indicator matrix.
+	Attributes float64
+	// TotalNonzeros is Z, the total number of indicator nonzeros.
+	TotalNonzeros float64
+}
+
+// KingsfordShape returns the shape of the paper's low-variability dataset:
+// 2,580 RNASeq samples at indicator density ≈1.5·10⁻⁴ over the 19-mer
+// space. The nonzero count is reported here directly (density × m × n) so
+// that projections do not require materialising the matrix.
+func KingsfordShape() DatasetShape {
+	m := math.Pow(4, 19)
+	return DatasetShape{
+		Name:          "Kingsford (2,580 RNASeq samples, k=19)",
+		Samples:       2580,
+		Attributes:    m,
+		TotalNonzeros: 1.5e-4 * m * 2580,
+	}
+}
+
+// BIGSIShape returns the shape of the paper's high-variability dataset:
+// 446,506 bacterial/viral WGS samples at density ≈4·10⁻¹² over the 31-mer
+// space.
+func BIGSIShape() DatasetShape {
+	m := math.Pow(4, 31)
+	return DatasetShape{
+		Name:          "BIGSI (446,506 WGS samples, k=31)",
+		Samples:       446506,
+		Attributes:    m,
+		TotalNonzeros: 4e-12 * m * 446506,
+	}
+}
+
+// StrongScaling projects a strong-scaling series: the dataset is fixed and
+// the node count grows; batch size grows with the aggregate memory (so the
+// batch count shrinks), exactly as the paper's strong-scaling runs double
+// the batch size along with the node count.
+func StrongScaling(m Machine, ds DatasetShape, nodes []int) ([]ScalingPoint, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if ds.Samples <= 0 || ds.TotalNonzeros <= 0 {
+		return nil, fmt.Errorf("costmodel: invalid dataset shape %+v", ds)
+	}
+	var out []ScalingPoint
+	var baseTotal float64
+	var basePar float64
+	for i, nd := range nodes {
+		if nd <= 0 {
+			return nil, fmt.Errorf("costmodel: non-positive node count %d", nd)
+		}
+		p := nd * m.RanksPerNode
+		c := Replication(m, ds.Samples, p)
+		batches := Batches(m, ds.TotalNonzeros, p)
+		z := ds.TotalNonzeros / float64(batches)
+		pr := Problem{Samples: ds.Samples, BatchNonzeros: z, BatchRows: ds.Attributes / float64(batches)}
+		bt := BatchTime(m, pr, p, c)
+		total := bt * float64(batches)
+		point := ScalingPoint{
+			Nodes: nd, Ranks: p, Replication: c, Batches: batches,
+			BatchSeconds: bt, TotalSeconds: total,
+		}
+		if i == 0 {
+			baseTotal = total
+			basePar = float64(p)
+			point.Efficiency = 1
+		} else {
+			point.Efficiency = (baseTotal / total) / (float64(p) / basePar)
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// BatchSensitivity projects the effect of the batch count at a fixed node
+// count (Figures 2c and 2d): more batches mean smaller batches, a lower
+// rate of useful work per synchronisation, and a larger projected total.
+func BatchSensitivity(m Machine, ds DatasetShape, nodesFixed int, batchCounts []int) ([]ScalingPoint, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if nodesFixed <= 0 {
+		return nil, fmt.Errorf("costmodel: non-positive node count %d", nodesFixed)
+	}
+	p := nodesFixed * m.RanksPerNode
+	c := Replication(m, ds.Samples, p)
+	var out []ScalingPoint
+	for _, batches := range batchCounts {
+		if batches <= 0 {
+			return nil, fmt.Errorf("costmodel: non-positive batch count %d", batches)
+		}
+		z := ds.TotalNonzeros / float64(batches)
+		bt := BatchTime(m, Problem{Samples: ds.Samples, BatchNonzeros: z, BatchRows: ds.Attributes / float64(batches)}, p, c)
+		out = append(out, ScalingPoint{
+			Nodes: nodesFixed, Ranks: p, Replication: c, Batches: batches,
+			BatchSeconds: bt, TotalSeconds: bt * float64(batches), Efficiency: 1,
+		})
+	}
+	return out, nil
+}
+
+// WeakScalingPoint is one row of a weak-scaling experiment (Fig. 2f).
+type WeakScalingPoint struct {
+	// Ranks is the processor count of the step.
+	Ranks int
+	// Samples and Attributes describe the grown problem.
+	Samples    int
+	Attributes float64
+	// TotalSeconds is the projected time of the single grown batch.
+	TotalSeconds float64
+	// WorkPerRank is F/p, to verify the work-per-processor growth schedule.
+	WorkPerRank float64
+}
+
+// WeakScaling projects the paper's weak-scaling schedule: the indicator
+// matrix dimensions (and with them the work) grow with the processor
+// count while the density stays fixed (Fig. 2f: 50k×500 on 1 core up to
+// 3.2M×32k on 4096 cores).
+func WeakScaling(m Machine, baseAttributes float64, baseSamples int, density float64, ranks []int) ([]WeakScalingPoint, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if baseAttributes <= 0 || baseSamples <= 0 || density <= 0 || density > 1 {
+		return nil, fmt.Errorf("costmodel: invalid weak-scaling base (%v, %d, %v)", baseAttributes, baseSamples, density)
+	}
+	var out []WeakScalingPoint
+	for _, p := range ranks {
+		if p <= 0 {
+			return nil, fmt.Errorf("costmodel: non-positive rank count %d", p)
+		}
+		scale := math.Sqrt(float64(p))
+		attrs := baseAttributes * scale
+		samples := int(float64(baseSamples) * scale)
+		z := attrs * float64(samples) * density
+		pr := Problem{Samples: samples, BatchNonzeros: z, BatchRows: attrs}.withDefaults()
+		c := Replication(m, samples, p)
+		bt := BatchTime(m, pr, p, c)
+		out = append(out, WeakScalingPoint{
+			Ranks: p, Samples: samples, Attributes: attrs,
+			TotalSeconds: bt, WorkPerRank: pr.Flops / float64(p),
+		})
+	}
+	return out, nil
+}
+
+// SparsityPoint is one row of the sparsity sweep of Fig. 3.
+type SparsityPoint struct {
+	Density      float64
+	BatchSeconds float64
+	TotalSeconds float64
+}
+
+// SparsitySweep projects total time against indicator density for a fixed
+// shape, node count and batch count (Fig. 3: n=10k, m=32M, 16 nodes, 4
+// batches, p from 10⁻⁴ to 10⁻²).
+func SparsitySweep(m Machine, attributes float64, samples, nodes, batches int, densities []float64) ([]SparsityPoint, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if nodes <= 0 || batches <= 0 || samples <= 0 || attributes <= 0 {
+		return nil, fmt.Errorf("costmodel: invalid sparsity sweep parameters")
+	}
+	p := nodes * m.RanksPerNode
+	c := Replication(m, samples, p)
+	var out []SparsityPoint
+	for _, d := range densities {
+		if d <= 0 || d > 1 {
+			return nil, fmt.Errorf("costmodel: invalid density %v", d)
+		}
+		z := attributes * float64(samples) * d / float64(batches)
+		bt := BatchTime(m, Problem{Samples: samples, BatchNonzeros: z, BatchRows: attributes / float64(batches)}, p, c)
+		out = append(out, SparsityPoint{Density: d, BatchSeconds: bt, TotalSeconds: bt * float64(batches)})
+	}
+	return out, nil
+}
+
+// MCDRAMComparison projects the per-batch time of the same problem on the
+// MCDRAM-as-cache and MCDRAM-as-memory profiles (Section V-D).
+func MCDRAMComparison(ds DatasetShape, nodes, batches int) (withCache, withoutCache float64) {
+	withMachine := Stampede2KNL()
+	withoutMachine := Stampede2KNLNoMCDRAM()
+	p := nodes * withMachine.RanksPerNode
+	c := Replication(withMachine, ds.Samples, p)
+	z := ds.TotalNonzeros / float64(batches)
+	pr := Problem{Samples: ds.Samples, BatchNonzeros: z, BatchRows: ds.Attributes / float64(batches)}
+	return BatchTime(withMachine, pr, p, c), BatchTime(withoutMachine, pr, p, c)
+}

@@ -1,0 +1,202 @@
+package docsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"genomeatscale/internal/core"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Hello, World! 42 times hello-world")
+	want := []string{"hello", "world", "times", "hello", "world"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if len(Tokenize("12345 !!!")) != 0 {
+		t.Error("digits/punctuation only should yield no tokens")
+	}
+}
+
+func TestShingles(t *testing.T) {
+	tokens := []string{"a", "b", "c", "d"}
+	got := Shingles(tokens, 2)
+	want := []string{"a b", "b c", "c d"}
+	if len(got) != len(want) {
+		t.Fatalf("Shingles = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("shingle %d = %q", i, got[i])
+		}
+	}
+	if Shingles([]string{"a"}, 2) != nil {
+		t.Error("short input should yield nil")
+	}
+	one := Shingles(tokens, 1)
+	if len(one) != 4 || one[0] != "a" {
+		t.Errorf("1-shingles = %v", one)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Shingles(tokens, 0)
+}
+
+func TestHashTermStableAndBounded(t *testing.T) {
+	if hashTerm("abc") != hashTerm("abc") {
+		t.Error("hash must be deterministic")
+	}
+	if hashTerm("abc") == hashTerm("abd") {
+		t.Error("different terms should (almost surely) hash differently")
+	}
+	for _, s := range []string{"", "a", "hello world", strings.Repeat("x", 100)} {
+		if hashTerm(s) >= uint64(1)<<62 {
+			t.Errorf("hash of %q exceeds 62 bits", s)
+		}
+	}
+}
+
+func TestNewCorpusValidation(t *testing.T) {
+	if _, err := NewCorpus([]string{"a"}, nil, Options{}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	c, err := NewCorpus([]string{"a", "b"}, []string{"x y z", ""}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestSimilarityIdenticalAndDisjointDocs(t *testing.T) {
+	names := []string{"original", "copy", "unrelated"}
+	texts := []string{
+		"the quick brown fox jumps over the lazy dog",
+		"the quick brown fox jumps over the lazy dog",
+		"completely different words appear here instead",
+	}
+	c, err := NewCorpus(names, texts, Options{ShingleSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Similarity(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Similarity(0, 1) != 1 {
+		t.Errorf("identical docs similarity = %v", res.Similarity(0, 1))
+	}
+	if res.Similarity(0, 2) != 0 {
+		t.Errorf("disjoint docs similarity = %v", res.Similarity(0, 2))
+	}
+	// Plagiarism-style lookup.
+	j, s := MostSimilar(res, 0)
+	if j != 1 || s != 1 {
+		t.Errorf("MostSimilar(0) = %d, %v", j, s)
+	}
+}
+
+func TestSimilarityPartialOverlapMatchesSetDefinition(t *testing.T) {
+	// doc0: {a,b,c,d}; doc1: {c,d,e,f} → J = 2/6.
+	c, err := NewCorpus(
+		[]string{"d0", "d1"},
+		[]string{"a b c d", "c d e f"},
+		Options{ShingleSize: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Similarity(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Similarity(0, 1)-2.0/6.0) > 1e-12 {
+		t.Errorf("similarity = %v, want 1/3", res.Similarity(0, 1))
+	}
+}
+
+func TestShinglesChangeSimilarity(t *testing.T) {
+	// Same word multiset, different order: bag-of-words similarity is 1 but
+	// 2-shingle similarity is below 1.
+	texts := []string{"alpha beta gamma delta", "delta gamma beta alpha"}
+	names := []string{"fwd", "rev"}
+	bag, err := NewCorpus(names, texts, Options{ShingleSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bagRes, err := bag.Similarity(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bagRes.Similarity(0, 1) != 1 {
+		t.Errorf("bag-of-words similarity = %v, want 1", bagRes.Similarity(0, 1))
+	}
+	sh, err := NewCorpus(names, texts, Options{ShingleSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shRes, err := sh.Similarity(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shRes.Similarity(0, 1) >= 1 {
+		t.Errorf("shingle similarity should drop below 1, got %v", shRes.Similarity(0, 1))
+	}
+}
+
+func TestSimilarityDistributedPathMatches(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	texts := []string{
+		"shared words one two three",
+		"shared words four five six",
+		"totally different content here now",
+		"shared words one two seven",
+	}
+	c, err := NewCorpus(names, texts, Options{ShingleSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := c.Similarity(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.Procs = 4
+	opts.BatchCount = 2
+	dist, err := c.Similarity(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if math.Abs(seq.Similarity(i, j)-dist.Similarity(i, j)) > 1e-12 {
+				t.Fatalf("distributed vs sequential mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMostSimilarSingleDoc(t *testing.T) {
+	c, err := NewCorpus([]string{"only"}, []string{"just one document"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Similarity(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, s := MostSimilar(res, 0)
+	if j != -1 || s != -1 {
+		t.Errorf("MostSimilar on single doc = %d, %v", j, s)
+	}
+}

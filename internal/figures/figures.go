@@ -1,0 +1,96 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (Section V) from this reproduction. Each generator returns one
+// or more printable tables combining:
+//
+//   - projections at the paper's full scale, obtained from the BSP cost
+//     model (internal/costmodel) parameterised with a Stampede2-like
+//     machine — this is how node counts up to 1024 are covered on a single
+//     host, and
+//   - measurements of the actual distributed pipeline (internal/core over
+//     the in-process BSP runtime) on scaled-down dataset proxies, which
+//     report real per-batch wall-clock times and exact communication
+//     volumes.
+//
+// The shapes reported in EXPERIMENTS.md (who wins, scaling trends,
+// crossovers) come from these generators; cmd/benchfigs prints them and the
+// root bench_test.go wraps them in testing.B benchmarks.
+package figures
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable result table.
+type Table struct {
+	// Title names the table (e.g. "Figure 2a — projected, full scale").
+	Title string
+	// Header holds the column names.
+	Header []string
+	// Rows holds the formatted cell values.
+	Rows [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Scale controls how large the measured (in-process) portion of each figure
+// is. Tests use Small; cmd/benchfigs defaults to Medium.
+type Scale int
+
+const (
+	// Small keeps every measured run under roughly a second.
+	Small Scale = iota
+	// Medium runs larger proxies for more stable measurements.
+	Medium
+)
+
+// seconds formats a duration value.
+func seconds(v float64) string { return fmt.Sprintf("%.4g s", v) }
+
+// hours formats a duration in hours.
+func hours(v float64) string { return fmt.Sprintf("%.3g h", v/3600) }
+
+// days formats a duration in days.
+func days(v float64) string { return fmt.Sprintf("%.3g d", v/86400) }
+
+// mb formats a byte count in MiB.
+func mb(v float64) string { return fmt.Sprintf("%.3g MiB", v/(1<<20)) }
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,131 @@
+// Package genome provides the GenomeAtScale preprocessing layer of the
+// paper (Part I of Figure 1): FASTA input/output, 2-bit k-mer encoding with
+// canonicalisation, rare-k-mer (noise) filtering, conversion of sequencing
+// samples into attribute sets for SimilarityAtScale, and a synthetic genome
+// generator with a simple mutation model used when real sequencing archives
+// are not available.
+package genome
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Record is one FASTA record.
+type Record struct {
+	// ID is the first whitespace-delimited token of the header line.
+	ID string
+	// Description is the remainder of the header line (may be empty).
+	Description string
+	// Seq is the raw sequence with line breaks removed.
+	Seq []byte
+}
+
+// ReadFASTA parses all records from r. Sequence characters are
+// upper-cased; empty records are rejected.
+func ReadFASTA(r io.Reader) ([]Record, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	var records []Record
+	var cur *Record
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if len(cur.Seq) == 0 {
+			return fmt.Errorf("genome: record %q has an empty sequence", cur.ID)
+		}
+		records = append(records, *cur)
+		cur = nil
+		return nil
+	}
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimRight(scanner.Text(), "\r\n \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ">") {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			header := strings.TrimSpace(line[1:])
+			if header == "" {
+				return nil, fmt.Errorf("genome: empty FASTA header at line %d", lineNo)
+			}
+			parts := strings.SplitN(header, " ", 2)
+			cur = &Record{ID: parts[0]}
+			if len(parts) == 2 {
+				cur.Description = parts[1]
+			}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("genome: sequence data before any FASTA header at line %d", lineNo)
+		}
+		cur.Seq = append(cur.Seq, bytes.ToUpper([]byte(line))...)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("genome: reading FASTA: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return records, nil
+}
+
+// ReadFASTAFile reads all records from a file on disk.
+func ReadFASTAFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("genome: %w", err)
+	}
+	defer f.Close()
+	return ReadFASTA(f)
+}
+
+// WriteFASTA writes records to w, wrapping sequence lines at the given
+// width (60 if width <= 0).
+func WriteFASTA(w io.Writer, records []Record, width int) error {
+	if width <= 0 {
+		width = 60
+	}
+	bw := bufio.NewWriter(w)
+	for _, rec := range records {
+		if rec.ID == "" {
+			return fmt.Errorf("genome: record with empty ID")
+		}
+		header := ">" + rec.ID
+		if rec.Description != "" {
+			header += " " + rec.Description
+		}
+		if _, err := fmt.Fprintln(bw, header); err != nil {
+			return err
+		}
+		for start := 0; start < len(rec.Seq); start += width {
+			end := start + width
+			if end > len(rec.Seq) {
+				end = len(rec.Seq)
+			}
+			if _, err := fmt.Fprintln(bw, string(rec.Seq[start:end])); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFASTAFile writes records to a file on disk.
+func WriteFASTAFile(path string, records []Record, width int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("genome: %w", err)
+	}
+	defer f.Close()
+	return WriteFASTA(f, records, width)
+}

@@ -1,0 +1,144 @@
+// Package minhash implements a bottom-k MinHash sketch and the Mash
+// distance, the locality-sensitive-hashing baseline the paper positions
+// itself against (Section I: MinHash "often lead[s] to inaccurate
+// approximations of d_J for highly similar pairs ... and tend[s] to be
+// ineffective for computation of a distance between highly dissimilar sets
+// unless very large sketch sizes are used"). The accuracy benchmarks use
+// this package to reproduce that comparison against the exact Jaccard
+// values computed by SimilarityAtScale.
+package minhash
+
+import (
+	"fmt"
+	"math"
+	"slices"
+)
+
+// Sketch is a bottom-k MinHash sketch: the k smallest hash values of a set.
+type Sketch struct {
+	// Size is the requested sketch size (number of retained hashes).
+	Size int
+	// Hashes holds the smallest Size hash values, sorted ascending. Sets
+	// with fewer than Size elements yield shorter sketches.
+	Hashes []uint64
+}
+
+// hash64 is a fixed 64-bit mixer (splitmix64 finaliser) applied to each
+// element; using a deterministic hash keeps sketches comparable across
+// runs, as Mash does with a fixed seed.
+func hash64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// New builds a bottom-k sketch of the given attribute set.
+func New(values []uint64, size int) (Sketch, error) {
+	if size <= 0 {
+		return Sketch{}, fmt.Errorf("minhash: sketch size must be positive, got %d", size)
+	}
+	hashes := make([]uint64, 0, len(values))
+	seen := make(map[uint64]struct{}, len(values))
+	for _, v := range values {
+		h := hash64(v)
+		if _, dup := seen[h]; dup {
+			continue
+		}
+		seen[h] = struct{}{}
+		hashes = append(hashes, h)
+	}
+	slices.Sort(hashes)
+	if len(hashes) > size {
+		hashes = hashes[:size]
+	}
+	return Sketch{Size: size, Hashes: slices.Clip(hashes)}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(values []uint64, size int) Sketch {
+	s, err := New(values, size)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// EstimateJaccard estimates J(A, B) from two bottom-k sketches using the
+// standard merged-bottom-k estimator: among the k smallest hashes of the
+// union, the fraction present in both sketches.
+func EstimateJaccard(a, b Sketch) (float64, error) {
+	if a.Size != b.Size {
+		return 0, fmt.Errorf("minhash: sketch sizes differ (%d vs %d)", a.Size, b.Size)
+	}
+	if len(a.Hashes) == 0 && len(b.Hashes) == 0 {
+		return 1, nil // both sets empty
+	}
+	// Merge the two sorted hash lists, keeping the k smallest distinct
+	// values of the union and counting how many appear in both.
+	k := a.Size
+	i, j, taken, shared := 0, 0, 0, 0
+	for taken < k && (i < len(a.Hashes) || j < len(b.Hashes)) {
+		switch {
+		case j >= len(b.Hashes) || (i < len(a.Hashes) && a.Hashes[i] < b.Hashes[j]):
+			i++
+		case i >= len(a.Hashes) || b.Hashes[j] < a.Hashes[i]:
+			j++
+		default: // equal → in both
+			shared++
+			i++
+			j++
+		}
+		taken++
+	}
+	if taken == 0 {
+		return 1, nil
+	}
+	return float64(shared) / float64(taken), nil
+}
+
+// MashDistance converts a Jaccard estimate into the Mash distance for
+// k-mers of length k (Ondov et al. 2016, Eq. 4):
+// D = -(1/k) · ln(2j / (1 + j)), clamped to [0, 1].
+func MashDistance(jaccard float64, k int) float64 {
+	if k <= 0 {
+		panic(fmt.Sprintf("minhash: non-positive k %d", k))
+	}
+	if jaccard <= 0 {
+		return 1
+	}
+	if jaccard >= 1 {
+		return 0
+	}
+	d := -math.Log(2*jaccard/(1+jaccard)) / float64(k)
+	if d > 1 {
+		return 1
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// EstimateMatrix estimates the full pairwise Jaccard similarity matrix from
+// per-sample sketches; it is the sketch-based counterpart of
+// core.ExactJaccard used by the accuracy benchmarks.
+func EstimateMatrix(sketches []Sketch) ([][]float64, error) {
+	n := len(sketches)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+		out[i][i] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			est, err := EstimateJaccard(sketches[i], sketches[j])
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = est
+			out[j][i] = est
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,206 @@
+package minhash
+
+import (
+	"math"
+	"testing"
+
+	"genomeatscale/internal/core"
+	"genomeatscale/internal/synth"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]uint64{1, 2}, 0); err == nil {
+		t.Error("size 0 should error")
+	}
+	s, err := New([]uint64{1, 2, 3}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Hashes) != 3 {
+		t.Errorf("sketch of small set should keep all hashes, got %d", len(s.Hashes))
+	}
+	for i := 1; i < len(s.Hashes); i++ {
+		if s.Hashes[i-1] >= s.Hashes[i] {
+			t.Error("hashes must be sorted and distinct")
+		}
+	}
+	big := MustNew(manyValues(5000), 100)
+	if len(big.Hashes) != 100 {
+		t.Errorf("sketch size = %d, want 100", len(big.Hashes))
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustNew(nil, 0)
+}
+
+func manyValues(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i) * 2654435761
+	}
+	return out
+}
+
+func TestEstimateIdenticalAndDisjoint(t *testing.T) {
+	vals := manyValues(3000)
+	a := MustNew(vals, 200)
+	b := MustNew(vals, 200)
+	j, err := EstimateJaccard(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 1 {
+		t.Errorf("identical sets estimate = %v, want 1", j)
+	}
+	other := make([]uint64, 3000)
+	for i := range other {
+		other[i] = uint64(i+1000000) * 40503
+	}
+	c := MustNew(other, 200)
+	j, err = EstimateJaccard(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j > 0.05 {
+		t.Errorf("disjoint sets estimate = %v, want ≈0", j)
+	}
+}
+
+func TestEstimateEmptySets(t *testing.T) {
+	a := MustNew(nil, 10)
+	b := MustNew(nil, 10)
+	j, err := EstimateJaccard(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 1 {
+		t.Errorf("empty vs empty = %v, want 1", j)
+	}
+}
+
+func TestEstimateSizeMismatch(t *testing.T) {
+	a := MustNew([]uint64{1}, 10)
+	b := MustNew([]uint64{1}, 20)
+	if _, err := EstimateJaccard(a, b); err == nil {
+		t.Error("size mismatch should error")
+	}
+}
+
+func TestEstimateAccuracyAcrossSimilarities(t *testing.T) {
+	rng := synth.NewRNG(5)
+	for _, target := range []float64{0.1, 0.3, 0.5, 0.8, 0.95} {
+		x, y := synth.PairWithJaccard(rng, 1<<40, 5000, target)
+		exact := core.JaccardPair(sortedCopy(x), sortedCopy(y))
+		a := MustNew(x, 1000)
+		b := MustNew(y, 1000)
+		est, err := EstimateJaccard(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(est-exact) > 0.06 {
+			t.Errorf("target %v: estimate %v vs exact %v", target, est, exact)
+		}
+	}
+}
+
+// Smaller sketches must (statistically) give worse estimates for very
+// similar pairs — the paper's motivation for exact computation. We check
+// that the small-sketch error is at least as large as the big-sketch error
+// on average over several trials.
+func TestSmallSketchLosesAccuracy(t *testing.T) {
+	rng := synth.NewRNG(17)
+	var smallErr, bigErr float64
+	const trials = 12
+	for i := 0; i < trials; i++ {
+		x, y := synth.PairWithJaccard(rng, 1<<40, 8000, 0.97)
+		exact := core.JaccardPair(sortedCopy(x), sortedCopy(y))
+		small, _ := EstimateJaccard(MustNew(x, 50), MustNew(y, 50))
+		big, _ := EstimateJaccard(MustNew(x, 4000), MustNew(y, 4000))
+		smallErr += math.Abs(small - exact)
+		bigErr += math.Abs(big - exact)
+	}
+	if smallErr < bigErr {
+		t.Errorf("small sketches should not beat large sketches on average: small=%v big=%v", smallErr, bigErr)
+	}
+}
+
+func TestMashDistance(t *testing.T) {
+	if MashDistance(1, 21) != 0 {
+		t.Error("J=1 → distance 0")
+	}
+	if MashDistance(0, 21) != 1 {
+		t.Error("J=0 → distance 1")
+	}
+	d := MashDistance(0.9, 21)
+	if d <= 0 || d >= 0.01 {
+		t.Errorf("MashDistance(0.9,21) = %v, expected small positive", d)
+	}
+	// Monotonicity: higher similarity → smaller distance.
+	prev := 1.0
+	for _, j := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		d := MashDistance(j, 31)
+		if d >= prev {
+			t.Errorf("MashDistance not monotone at J=%v", j)
+		}
+		prev = d
+	}
+}
+
+func TestMashDistancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MashDistance(0.5, 0)
+}
+
+func TestEstimateMatrix(t *testing.T) {
+	rng := synth.NewRNG(9)
+	x, y := synth.PairWithJaccard(rng, 1<<40, 2000, 0.5)
+	sketches := []Sketch{MustNew(x, 500), MustNew(y, 500), MustNew(nil, 500)}
+	m, err := EstimateMatrix(sketches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 {
+		t.Fatal("wrong matrix size")
+	}
+	for i := range m {
+		if m[i][i] != 1 {
+			t.Error("diagonal must be 1")
+		}
+		for j := range m {
+			if m[i][j] != m[j][i] {
+				t.Error("matrix must be symmetric")
+			}
+		}
+	}
+	if math.Abs(m[0][1]-0.5) > 0.1 {
+		t.Errorf("m[0][1] = %v, want ≈0.5", m[0][1])
+	}
+	bad := []Sketch{MustNew(x, 10), MustNew(y, 20)}
+	if _, err := EstimateMatrix(bad); err == nil {
+		t.Error("mismatched sketches should error")
+	}
+}
+
+func sortedCopy(xs []uint64) []uint64 {
+	out := append([]uint64(nil), xs...)
+	for i := 1; i < len(out); i++ {
+		v := out[i]
+		j := i - 1
+		for j >= 0 && out[j] > v {
+			out[j+1] = out[j]
+			j--
+		}
+		out[j+1] = v
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+// Package samplefile implements the on-disk sample representation of
+// GenomeAtScale: "GenomeAtScale includes infrastructure to produce files
+// with a sorted numerical representation for each data sample. Each
+// processor is responsible for reading in a subset of these files, scanning
+// through one batch at a time." (Section IV).
+//
+// A sample file holds one data sample as a sorted list of attribute values
+// (for genomes, 2-bit packed k-mer codes). Two encodings are supported:
+//
+//   - text: one decimal value per line (the format of the paper's Listing 2
+//     pseudocode, also accepted by cmd/similarityatscale), and
+//   - binary: a small header followed by delta-encoded varint values, which
+//     is far more compact for the hypersparse k-mer sets of real samples.
+//
+// DirDataset exposes a directory of such files as a core.Dataset whose
+// samples are loaded lazily and cached, so the batched pipeline can scan
+// attribute ranges without holding every sample permanently in memory.
+package samplefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// binaryMagic identifies binary sample files.
+var binaryMagic = [8]byte{'G', 'A', 'S', 'S', 'M', 'P', 'L', '1'}
+
+// WriteText writes a sample as one decimal value per line, sorted and
+// de-duplicated.
+func WriteText(path string, values []uint64) error {
+	cleaned := normalize(values)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("samplefile: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, v := range cleaned {
+		if _, err := fmt.Fprintln(w, v); err != nil {
+			return fmt.Errorf("samplefile: %w", err)
+		}
+	}
+	return w.Flush()
+}
+
+// ReadText reads a text sample file. Blank lines and '#' comments are
+// ignored; values are sorted and de-duplicated on return.
+func ReadText(path string) ([]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("samplefile: %w", err)
+	}
+	defer f.Close()
+	var out []uint64
+	scanner := bufio.NewScanner(f)
+	scanner.Buffer(make([]byte, 1024*1024), 256*1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseUint(line, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("samplefile: %s:%d: %w", path, lineNo, err)
+		}
+		out = append(out, v)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("samplefile: %w", err)
+	}
+	return normalize(out), nil
+}
+
+// WriteBinary writes a sample in the compact binary encoding: the magic,
+// the value count, and the sorted values as varint deltas.
+func WriteBinary(path string, values []uint64) error {
+	cleaned := normalize(values)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("samplefile: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if _, err := w.Write(binaryMagic[:]); err != nil {
+		return fmt.Errorf("samplefile: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(cleaned)))
+	if _, err := w.Write(buf[:n]); err != nil {
+		return fmt.Errorf("samplefile: %w", err)
+	}
+	prev := uint64(0)
+	for i, v := range cleaned {
+		delta := v
+		if i > 0 {
+			delta = v - prev
+		}
+		prev = v
+		n := binary.PutUvarint(buf[:], delta)
+		if _, err := w.Write(buf[:n]); err != nil {
+			return fmt.Errorf("samplefile: %w", err)
+		}
+	}
+	return w.Flush()
+}
+
+// ReadBinary reads a binary sample file written by WriteBinary.
+func ReadBinary(path string) ([]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("samplefile: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var magic [8]byte
+	if _, err := readFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("samplefile: %s: reading magic: %w", path, err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("samplefile: %s is not a binary sample file", path)
+	}
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("samplefile: %s: reading count: %w", path, err)
+	}
+	out := make([]uint64, 0, count)
+	var prev uint64
+	for i := uint64(0); i < count; i++ {
+		delta, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("samplefile: %s: value %d: %w", path, i, err)
+		}
+		v := delta
+		if i > 0 {
+			v = prev + delta
+		}
+		if i > 0 && v < prev {
+			return nil, fmt.Errorf("samplefile: %s: non-monotone values (corrupt file)", path)
+		}
+		out = append(out, v)
+		prev = v
+	}
+	return out, nil
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Read loads a sample file, auto-detecting the encoding from the magic.
+func Read(path string) ([]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("samplefile: %w", err)
+	}
+	var magic [8]byte
+	n, _ := f.Read(magic[:])
+	f.Close()
+	if n == len(magic) && magic == binaryMagic {
+		return ReadBinary(path)
+	}
+	return ReadText(path)
+}
+
+// normalize sorts and de-duplicates values.
+func normalize(values []uint64) []uint64 {
+	out := append([]uint64(nil), values...)
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+// DirDataset is a core.Dataset backed by a directory of sample files, one
+// file per sample, loaded lazily and cached.
+type DirDataset struct {
+	names      []string
+	paths      []string
+	attributes uint64
+
+	mu    sync.Mutex
+	cache [][]uint64
+}
+
+// OpenDir lists the sample files matching the glob pattern (e.g. "*.txt" or
+// "*" ) under dir, in lexicographic order, and returns a lazily-loading
+// dataset over the attribute universe [0, numAttributes).
+func OpenDir(dir, pattern string, numAttributes uint64) (*DirDataset, error) {
+	if numAttributes == 0 {
+		return nil, fmt.Errorf("samplefile: attribute universe must be positive")
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, pattern))
+	if err != nil {
+		return nil, fmt.Errorf("samplefile: %w", err)
+	}
+	var files []string
+	for _, m := range matches {
+		info, err := os.Stat(m)
+		if err != nil {
+			return nil, fmt.Errorf("samplefile: %w", err)
+		}
+		if !info.IsDir() {
+			files = append(files, m)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("samplefile: no sample files match %q in %s", pattern, dir)
+	}
+	sort.Strings(files)
+	ds := &DirDataset{attributes: numAttributes, cache: make([][]uint64, len(files))}
+	for _, f := range files {
+		ds.paths = append(ds.paths, f)
+		name := strings.TrimSuffix(filepath.Base(f), filepath.Ext(f))
+		ds.names = append(ds.names, name)
+	}
+	return ds, nil
+}
+
+// NumSamples implements core.Dataset.
+func (d *DirDataset) NumSamples() int { return len(d.paths) }
+
+// NumAttributes implements core.Dataset.
+func (d *DirDataset) NumAttributes() uint64 { return d.attributes }
+
+// SampleName implements core.Dataset.
+func (d *DirDataset) SampleName(i int) string { return d.names[i] }
+
+// Sample implements core.Dataset. Files are loaded on first access and
+// cached; values ≥ NumAttributes cause a panic because they indicate a
+// mismatch between the file contents and the declared universe.
+func (d *DirDataset) Sample(i int) []uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cache[i] == nil {
+		values, err := Read(d.paths[i])
+		if err != nil {
+			panic(fmt.Sprintf("samplefile: loading %s: %v", d.paths[i], err))
+		}
+		for _, v := range values {
+			if v >= d.attributes {
+				panic(fmt.Sprintf("samplefile: %s contains value %d outside the declared universe %d",
+					d.paths[i], v, d.attributes))
+			}
+		}
+		if values == nil {
+			values = []uint64{}
+		}
+		d.cache[i] = values
+	}
+	return d.cache[i]
+}
+
+// Evict drops the cached contents of sample i so that memory can be
+// reclaimed between batches when scanning very large collections.
+func (d *DirDataset) Evict(i int) {
+	d.mu.Lock()
+	d.cache[i] = nil
+	d.mu.Unlock()
+}
+
+// MaxValue returns the largest attribute value across all samples (loading
+// them if needed); useful for choosing the universe size when it is not
+// known a priori.
+func (d *DirDataset) MaxValue() uint64 {
+	var m uint64
+	for i := range d.paths {
+		s := d.Sample(i)
+		if len(s) > 0 && s[len(s)-1] > m {
+			m = s[len(s)-1]
+		}
+	}
+	return m
+}

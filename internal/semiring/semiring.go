@@ -1,0 +1,164 @@
+// Package semiring defines the algebraic structures that parameterise the
+// sparse linear-algebra kernels of SimilarityAtScale. The paper (Section IV)
+// relies on Cyclops' ability to run matrix contractions over user-defined
+// monoids and semirings: the filter vector uses a (max, ×) semiring, the
+// Jaccard Gram product B = AᵀA uses integer addition over a popcount-AND
+// multiplication, and the final similarity derivation uses ordinary
+// arithmetic. This package provides equivalent generic structures.
+package semiring
+
+import "genomeatscale/internal/bitutil"
+
+// Monoid is an associative binary operation with an identity element.
+// Implementations must satisfy Op(Identity, x) == Op(x, Identity) == x and
+// associativity; property tests in this package verify the predefined ones.
+type Monoid[T any] struct {
+	// Identity is the neutral element of Op.
+	Identity T
+	// Op combines two values. It must be associative.
+	Op func(T, T) T
+}
+
+// Fold reduces a slice with the monoid, returning Identity for empty input.
+func (m Monoid[T]) Fold(xs []T) T {
+	acc := m.Identity
+	for _, x := range xs {
+		acc = m.Op(acc, x)
+	}
+	return acc
+}
+
+// Semiring couples an additive monoid over C with a multiplication mapping
+// an A-value and a B-value to a C-value. This is the shape required by the
+// generalized matrix product C[i,j] = ⊕_k Mul(A[k,i], B[k,j]) used in the
+// Jaccard kernel.
+type Semiring[A, B, C any] struct {
+	Add Monoid[C]
+	Mul func(A, B) C
+}
+
+// --- Predefined monoids -----------------------------------------------------
+
+// PlusInt64 is the (+, 0) monoid over int64, used to accumulate
+// intersection cardinalities.
+func PlusInt64() Monoid[int64] {
+	return Monoid[int64]{Identity: 0, Op: func(a, b int64) int64 { return a + b }}
+}
+
+// PlusFloat64 is the (+, 0) monoid over float64.
+func PlusFloat64() Monoid[float64] {
+	return Monoid[float64]{Identity: 0, Op: func(a, b float64) float64 { return a + b }}
+}
+
+// MaxUint8 is the (max, 0) monoid over uint8. The paper uses a (max, ×)
+// semiring when assembling the filter vector f so that concurrent writes of
+// "1" from multiple processes combine into a single 1.
+func MaxUint8() Monoid[uint8] {
+	return Monoid[uint8]{Identity: 0, Op: func(a, b uint8) uint8 {
+		if a > b {
+			return a
+		}
+		return b
+	}}
+}
+
+// MaxInt64 is the (max, MinInt64-free) monoid over int64 with identity 0,
+// suitable for non-negative data such as counts.
+func MaxInt64() Monoid[int64] {
+	return Monoid[int64]{Identity: 0, Op: func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}}
+}
+
+// MinFloat64 is the (min, +Inf) monoid over float64 restricted to finite
+// inputs; identity is positive infinity encoded as math.MaxFloat64 to keep
+// the type closed under Op for practical data.
+func MinFloat64() Monoid[float64] {
+	const inf = 1.797693134862315708145274237317043567981e+308
+	return Monoid[float64]{Identity: inf, Op: func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}}
+}
+
+// OrBool is the (∨, false) monoid over bool, the algebra of the indicator
+// matrix itself.
+func OrBool() Monoid[bool] {
+	return Monoid[bool]{Identity: false, Op: func(a, b bool) bool { return a || b }}
+}
+
+// OrUint64 is the (|, 0) monoid over uint64, used when assembling packed
+// bitmask words from multiple contributions.
+func OrUint64() Monoid[uint64] {
+	return Monoid[uint64]{Identity: 0, Op: func(a, b uint64) uint64 { return a | b }}
+}
+
+// --- Predefined semirings ---------------------------------------------------
+
+// PlusTimesInt64 is the standard (+, ×) semiring over int64. Multiplying
+// {0,1} indicator values under it yields intersection cardinalities, i.e.
+// B = AᵀA of Section III-A.
+func PlusTimesInt64() Semiring[int64, int64, int64] {
+	return Semiring[int64, int64, int64]{
+		Add: PlusInt64(),
+		Mul: func(a, b int64) int64 { return a * b },
+	}
+}
+
+// PlusTimesFloat64 is the standard (+, ×) semiring over float64.
+func PlusTimesFloat64() Semiring[float64, float64, float64] {
+	return Semiring[float64, float64, float64]{
+		Add: PlusFloat64(),
+		Mul: func(a, b float64) float64 { return a * b },
+	}
+}
+
+// MaxTimesUint8 is the (max, ×) semiring over uint8 used for the filter
+// vector f (Eq. 5): any process contributing a 1 makes the entry 1.
+func MaxTimesUint8() Semiring[uint8, uint8, uint8] {
+	return Semiring[uint8, uint8, uint8]{
+		Add: MaxUint8(),
+		Mul: func(a, b uint8) uint8 { return a * b },
+	}
+}
+
+// PopcountAnd is the Jaccard kernel semiring of Eq. 7: values are b-bit
+// packed row segments (uint64 words), multiplication is popcount(x ∧ y),
+// and addition is integer addition. It is the algebra handed to the SUMMA
+// Gram product, mirroring the paper's Cyclops Kernel construct
+// Jaccard_Kernel(A["ki"], A["kj"], B["ij"]).
+func PopcountAnd() Semiring[uint64, uint64, int64] {
+	return Semiring[uint64, uint64, int64]{
+		Add: PlusInt64(),
+		Mul: func(a, b uint64) int64 { return int64(bitutil.PopcountAnd(a, b)) },
+	}
+}
+
+// BoolAndToInt64 multiplies two booleans into an int64 {0,1} and adds them;
+// it is the uncompressed counterpart of PopcountAnd used by reference
+// implementations and ablation benchmarks.
+func BoolAndToInt64() Semiring[bool, bool, int64] {
+	return Semiring[bool, bool, int64]{
+		Add: PlusInt64(),
+		Mul: func(a, b bool) int64 {
+			if a && b {
+				return 1
+			}
+			return 0
+		},
+	}
+}
+
+// OrAndBool is the (∨, ∧) boolean semiring, useful for reachability-style
+// products and for the graph-similarity application.
+func OrAndBool() Semiring[bool, bool, bool] {
+	return Semiring[bool, bool, bool]{
+		Add: OrBool(),
+		Mul: func(a, b bool) bool { return a && b },
+	}
+}

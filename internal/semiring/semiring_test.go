@@ -1,0 +1,178 @@
+package semiring
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+// checkMonoidLaws verifies identity and associativity for a monoid over a
+// sample of values.
+func checkMonoidLaws[T comparable](t *testing.T, name string, m Monoid[T], samples []T) {
+	t.Helper()
+	for _, x := range samples {
+		if m.Op(m.Identity, x) != x {
+			t.Errorf("%s: left identity violated for %v", name, x)
+		}
+		if m.Op(x, m.Identity) != x {
+			t.Errorf("%s: right identity violated for %v", name, x)
+		}
+	}
+	for _, a := range samples {
+		for _, b := range samples {
+			for _, c := range samples {
+				if m.Op(m.Op(a, b), c) != m.Op(a, m.Op(b, c)) {
+					t.Errorf("%s: associativity violated for %v %v %v", name, a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestPlusInt64Laws(t *testing.T) {
+	checkMonoidLaws(t, "PlusInt64", PlusInt64(), []int64{-7, -1, 0, 1, 3, 100})
+}
+
+func TestPlusFloat64Laws(t *testing.T) {
+	checkMonoidLaws(t, "PlusFloat64", PlusFloat64(), []float64{0, 1, 2, 4, 8})
+}
+
+func TestMaxUint8Laws(t *testing.T) {
+	checkMonoidLaws(t, "MaxUint8", MaxUint8(), []uint8{0, 1, 2, 200, 255})
+}
+
+func TestMaxInt64Laws(t *testing.T) {
+	checkMonoidLaws(t, "MaxInt64", MaxInt64(), []int64{0, 1, 5, 1 << 40})
+}
+
+func TestMinFloat64Laws(t *testing.T) {
+	checkMonoidLaws(t, "MinFloat64", MinFloat64(), []float64{0, 0.5, 1, 7, 1e10})
+}
+
+func TestOrBoolLaws(t *testing.T) {
+	checkMonoidLaws(t, "OrBool", OrBool(), []bool{false, true})
+}
+
+func TestOrUint64Laws(t *testing.T) {
+	checkMonoidLaws(t, "OrUint64", OrUint64(), []uint64{0, 1, 0xFF00, ^uint64(0)})
+}
+
+func TestFold(t *testing.T) {
+	m := PlusInt64()
+	if got := m.Fold(nil); got != 0 {
+		t.Errorf("Fold(nil) = %d, want 0", got)
+	}
+	if got := m.Fold([]int64{1, 2, 3, 4}); got != 10 {
+		t.Errorf("Fold = %d, want 10", got)
+	}
+	mx := MaxUint8()
+	if got := mx.Fold([]uint8{3, 9, 1}); got != 9 {
+		t.Errorf("max Fold = %d, want 9", got)
+	}
+}
+
+func TestPopcountAndSemiring(t *testing.T) {
+	sr := PopcountAnd()
+	if sr.Mul(0xF0F0, 0xFF00) != int64(bits.OnesCount64(0xF0F0&0xFF00)) {
+		t.Error("PopcountAnd.Mul incorrect")
+	}
+	if sr.Add.Identity != 0 {
+		t.Error("PopcountAnd.Add identity must be 0")
+	}
+	// distributive-flavoured sanity: popcount((a|b) & c) <= popcount(a&c)+popcount(b&c)
+	f := func(a, b, c uint64) bool {
+		return sr.Mul(a|b, c) <= sr.Mul(a, c)+sr.Mul(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlusTimesInt64(t *testing.T) {
+	sr := PlusTimesInt64()
+	if sr.Mul(3, 4) != 12 {
+		t.Error("mul wrong")
+	}
+	if sr.Add.Op(5, 7) != 12 {
+		t.Error("add wrong")
+	}
+}
+
+func TestPlusTimesFloat64(t *testing.T) {
+	sr := PlusTimesFloat64()
+	if sr.Mul(0.5, 4) != 2 {
+		t.Error("mul wrong")
+	}
+}
+
+func TestMaxTimesUint8FilterSemantics(t *testing.T) {
+	// The filter vector combines concurrent writes of 1 into 1.
+	sr := MaxTimesUint8()
+	if got := sr.Add.Op(1, 1); got != 1 {
+		t.Errorf("max(1,1) = %d, want 1", got)
+	}
+	if got := sr.Add.Op(0, 1); got != 1 {
+		t.Errorf("max(0,1) = %d, want 1", got)
+	}
+	if got := sr.Mul(1, 1); got != 1 {
+		t.Errorf("1*1 = %d, want 1", got)
+	}
+}
+
+func TestBoolAndToInt64MatchesPopcountOnSingleBits(t *testing.T) {
+	boolSR := BoolAndToInt64()
+	packSR := PopcountAnd()
+	f := func(a, b bool) bool {
+		var wa, wb uint64
+		if a {
+			wa = 1
+		}
+		if b {
+			wb = 1
+		}
+		return boolSR.Mul(a, b) == packSR.Mul(wa, wb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrAndBool(t *testing.T) {
+	sr := OrAndBool()
+	if sr.Mul(true, false) {
+		t.Error("true∧false must be false")
+	}
+	if !sr.Add.Op(false, true) {
+		t.Error("false∨true must be true")
+	}
+	if sr.Add.Identity {
+		t.Error("identity of ∨ must be false")
+	}
+}
+
+// The Gram product over {0,1} values with PlusTimesInt64 must agree with the
+// popcount formulation when values are packed bit-by-bit — the core
+// equivalence that justifies the paper's compression step (Eq. 7).
+func TestPackedVsUnpackedDotProduct(t *testing.T) {
+	f := func(xs, ys [64]bool) bool {
+		var wx, wy uint64
+		var dot int64
+		pt := PlusTimesInt64()
+		for i := 0; i < 64; i++ {
+			var xi, yi int64
+			if xs[i] {
+				xi = 1
+				wx |= 1 << uint(i)
+			}
+			if ys[i] {
+				yi = 1
+				wy |= 1 << uint(i)
+			}
+			dot = pt.Add.Op(dot, pt.Mul(xi, yi))
+		}
+		return dot == PopcountAnd().Mul(wx, wy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,248 @@
+package sparse
+
+import (
+	"fmt"
+
+	"genomeatscale/internal/semiring"
+)
+
+// GramT computes B = AᵀA over a semiring for a CSC matrix A, i.e.
+// B[i][j] = ⊕_k Mul(A[k][i], A[k][j]). This is the reference (sequential,
+// uncompressed) formulation of the intersection-cardinality matrix of
+// Section III-A: with {0,1} values and the (+,×) semiring, B[i][j] equals
+// |X_i ∩ X_j|.
+//
+// The product exploits column sparsity: for each pair of columns it merges
+// the two sorted row-index lists.
+func GramT[A, C any](a *CSC[A], sr semiring.Semiring[A, A, C]) *Dense[C] {
+	n := a.NumCols
+	out := NewDense[C](n, n)
+	for i := range out.Data {
+		out.Data[i] = sr.Add.Identity
+	}
+	for i := 0; i < n; i++ {
+		ri, vi := a.Col(i)
+		for j := i; j < n; j++ {
+			rj, vj := a.Col(j)
+			acc := sr.Add.Identity
+			p, q := 0, 0
+			for p < len(ri) && q < len(rj) {
+				switch {
+				case ri[p] < rj[q]:
+					p++
+				case ri[p] > rj[q]:
+					q++
+				default:
+					acc = sr.Add.Op(acc, sr.Mul(vi[p], vj[q]))
+					p++
+					q++
+				}
+			}
+			out.Set(i, j, acc)
+			out.Set(j, i, acc)
+		}
+	}
+	return out
+}
+
+// GramTAccumulate is like GramT but accumulates into an existing dense
+// matrix, which is how the batched algorithm folds per-batch contributions
+// A^(l)ᵀ A^(l) into B (Eq. 4).
+func GramTAccumulate[A, C any](a *CSC[A], sr semiring.Semiring[A, A, C], into *Dense[C]) {
+	if into.Rows != a.NumCols || into.Cols != a.NumCols {
+		panic(fmt.Sprintf("sparse: GramTAccumulate shape mismatch: %dx%d vs n=%d", into.Rows, into.Cols, a.NumCols))
+	}
+	part := GramT(a, sr)
+	into.AddInto(part, sr.Add)
+}
+
+// ColReduce reduces each column of a CSC matrix with a mapping into the
+// monoid's carrier, returning a dense vector of length NumCols. With an
+// indicator matrix and a "count one per nonzero" mapping it produces the
+// per-sample cardinalities â of Eq. 4.
+func ColReduce[A, C any](a *CSC[A], add semiring.Monoid[C], mapVal func(A) C) []C {
+	out := make([]C, a.NumCols)
+	for j := range out {
+		out[j] = add.Identity
+	}
+	for j := 0; j < a.NumCols; j++ {
+		_, vals := a.Col(j)
+		for _, v := range vals {
+			out[j] = add.Op(out[j], mapVal(v))
+		}
+	}
+	return out
+}
+
+// RowReduce reduces each row of a CSR matrix, analogously to ColReduce.
+func RowReduce[A, C any](a *CSR[A], add semiring.Monoid[C], mapVal func(A) C) []C {
+	out := make([]C, a.NumRows)
+	for i := range out {
+		out[i] = add.Identity
+	}
+	for i := 0; i < a.NumRows; i++ {
+		_, vals := a.Row(i)
+		for _, v := range vals {
+			out[i] = add.Op(out[i], mapVal(v))
+		}
+	}
+	return out
+}
+
+// SpMV computes y = Aᵀx over a semiring for a CSC matrix A and a dense
+// vector x of length NumRows, returning a dense vector of length NumCols.
+func SpMV[A, B, C any](a *CSC[A], x []B, sr semiring.Semiring[A, B, C]) []C {
+	if len(x) != a.NumRows {
+		panic(fmt.Sprintf("sparse: SpMV length mismatch %d vs %d", len(x), a.NumRows))
+	}
+	out := make([]C, a.NumCols)
+	for j := range out {
+		out[j] = sr.Add.Identity
+	}
+	for j := 0; j < a.NumCols; j++ {
+		rows, vals := a.Col(j)
+		for k, i := range rows {
+			out[j] = sr.Add.Op(out[j], sr.Mul(vals[k], x[i]))
+		}
+	}
+	return out
+}
+
+// SpGEMM computes C = A·B over a semiring where A is CSR (m×k) and B is CSR
+// (k×n), returning a CSR result. It uses a Gustavson-style row-by-row
+// expansion. This general product supports the graph-similarity and
+// document-similarity applications as well as ablation baselines.
+func SpGEMM[X, Y, Z any](a *CSR[X], b *CSR[Y], sr semiring.Semiring[X, Y, Z]) *CSR[Z] {
+	if a.NumCols != b.NumRows {
+		panic(fmt.Sprintf("sparse: SpGEMM inner dimension mismatch %d vs %d", a.NumCols, b.NumRows))
+	}
+	out := &CSR[Z]{
+		NumRows: a.NumRows,
+		NumCols: b.NumCols,
+		RowPtr:  make([]int, a.NumRows+1),
+	}
+	// Dense accumulator per row (SPA).
+	acc := make([]Z, b.NumCols)
+	occupied := make([]bool, b.NumCols)
+	touched := make([]int, 0, b.NumCols)
+	for i := 0; i < a.NumRows; i++ {
+		aCols, aVals := a.Row(i)
+		for k, col := range aCols {
+			bCols, bVals := b.Row(col)
+			av := aVals[k]
+			for t, j := range bCols {
+				if !occupied[j] {
+					occupied[j] = true
+					acc[j] = sr.Add.Identity
+					touched = append(touched, j)
+				}
+				acc[j] = sr.Add.Op(acc[j], sr.Mul(av, bVals[t]))
+			}
+		}
+		// Emit the row in sorted column order.
+		sortInts(touched)
+		for _, j := range touched {
+			out.ColIdx = append(out.ColIdx, j)
+			out.Val = append(out.Val, acc[j])
+			occupied[j] = false
+		}
+		touched = touched[:0]
+		out.RowPtr[i+1] = len(out.ColIdx)
+	}
+	return out
+}
+
+// sortInts is a small insertion/std sort wrapper kept separate so SpGEMM
+// reads clearly.
+func sortInts(xs []int) {
+	if len(xs) < 2 {
+		return
+	}
+	// Insertion sort is typically fastest for the short per-row lists we see.
+	if len(xs) <= 32 {
+		for i := 1; i < len(xs); i++ {
+			v := xs[i]
+			j := i - 1
+			for j >= 0 && xs[j] > v {
+				xs[j+1] = xs[j]
+				j--
+			}
+			xs[j+1] = v
+		}
+		return
+	}
+	quickSortInts(xs)
+}
+
+func quickSortInts(xs []int) {
+	if len(xs) < 2 {
+		return
+	}
+	pivot := xs[len(xs)/2]
+	left, right := 0, len(xs)-1
+	for left <= right {
+		for xs[left] < pivot {
+			left++
+		}
+		for xs[right] > pivot {
+			right--
+		}
+		if left <= right {
+			xs[left], xs[right] = xs[right], xs[left]
+			left++
+			right--
+		}
+	}
+	quickSortInts(xs[:right+1])
+	quickSortInts(xs[left:])
+}
+
+// FilterRows removes the rows of a COO matrix that are not listed in keep
+// (a sorted list of row indices) and renumbers the remaining rows densely
+// in order. It implements Eq. 6: ā[p_k, i] = a[k, i] for the prefix-sum
+// mapping p of the filter vector. The returned matrix has len(keep) rows.
+func FilterRows[T any](m *COO[T], keep []int) *COO[T] {
+	pos := make(map[int]int, len(keep))
+	for rank, r := range keep {
+		pos[r] = rank
+	}
+	out := NewCOO[T](len(keep), m.NumCols)
+	out.Entries = make([]Entry[T], 0, len(m.Entries))
+	for _, e := range m.Entries {
+		p, ok := pos[e.Row]
+		if !ok {
+			continue
+		}
+		out.Entries = append(out.Entries, Entry[T]{Row: p, Col: e.Col, Val: e.Val})
+	}
+	return out
+}
+
+// RowSlice returns the sub-matrix of rows [lo, hi) of a COO matrix, with row
+// indices shifted so the slice starts at row 0. It implements the batching
+// of Eq. 3: A = [A(1); ...; A(r)].
+func RowSlice[T any](m *COO[T], lo, hi int) *COO[T] {
+	if lo < 0 || hi > m.NumRows || lo > hi {
+		panic(fmt.Sprintf("sparse: RowSlice [%d,%d) out of range for %d rows", lo, hi, m.NumRows))
+	}
+	out := NewCOO[T](hi-lo, m.NumCols)
+	for _, e := range m.Entries {
+		if e.Row >= lo && e.Row < hi {
+			out.Entries = append(out.Entries, Entry[T]{Row: e.Row - lo, Col: e.Col, Val: e.Val})
+		}
+	}
+	return out
+}
+
+// Equal reports whether two dense matrices are elementwise equal under eq.
+func Equal[T any](a, b *Dense[T], eq func(T, T) bool) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if !eq(a.Data[i], b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,533 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"genomeatscale/internal/semiring"
+)
+
+func boolOr() semiring.Monoid[bool]   { return semiring.OrBool() }
+func plusI64() semiring.Monoid[int64] { return semiring.PlusInt64() }
+
+// randomCOO builds a random boolean COO matrix with the given density.
+func randomCOO(rng *rand.Rand, rows, cols int, density float64) *COO[bool] {
+	m := NewCOO[bool](rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				m.Append(i, j, true)
+			}
+		}
+	}
+	return m
+}
+
+func TestCOOAppendBounds(t *testing.T) {
+	m := NewCOO[int64](3, 4)
+	m.Append(2, 3, 5)
+	if m.NNZ() != 1 {
+		t.Fatal("expected one entry")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-bounds append")
+		}
+	}()
+	m.Append(3, 0, 1)
+}
+
+func TestNewCOONegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative shape")
+		}
+	}()
+	NewCOO[int64](-1, 2)
+}
+
+func TestCOOCompactMergesDuplicates(t *testing.T) {
+	m := NewCOO[int64](2, 2)
+	m.Append(0, 0, 1)
+	m.Append(0, 0, 2)
+	m.Append(1, 1, 3)
+	m.Append(0, 0, 4)
+	m.Compact(plusI64())
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ after compact = %d, want 2", m.NNZ())
+	}
+	csr := CSRFromCOO(m, plusI64())
+	if v, ok := csr.At(0, 0); !ok || v != 7 {
+		t.Errorf("merged value = %v,%v want 7,true", v, ok)
+	}
+}
+
+func TestCOOTranspose(t *testing.T) {
+	m := NewCOO[int64](2, 3)
+	m.Append(0, 2, 5)
+	m.Append(1, 0, 7)
+	tr := m.Transpose()
+	if tr.NumRows != 3 || tr.NumCols != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.NumRows, tr.NumCols)
+	}
+	csr := CSRFromCOO(tr, plusI64())
+	if v, ok := csr.At(2, 0); !ok || v != 5 {
+		t.Error("transposed entry (2,0) missing")
+	}
+	if v, ok := csr.At(0, 1); !ok || v != 7 {
+		t.Error("transposed entry (0,1) missing")
+	}
+}
+
+func TestCOODensityAndNonEmptyRows(t *testing.T) {
+	m := NewCOO[bool](10, 10)
+	m.Append(3, 1, true)
+	m.Append(3, 2, true)
+	m.Append(7, 0, true)
+	if m.Density() != 0.03 {
+		t.Errorf("density = %v, want 0.03", m.Density())
+	}
+	rows := m.NonEmptyRows()
+	if len(rows) != 2 || rows[0] != 3 || rows[1] != 7 {
+		t.Errorf("NonEmptyRows = %v, want [3 7]", rows)
+	}
+	empty := NewCOO[bool](0, 0)
+	if empty.Density() != 0 {
+		t.Error("empty density should be 0")
+	}
+}
+
+func TestCSRCSCRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		m := randomCOO(rng, 20, 15, 0.2)
+		m.Compact(boolOr())
+		csr := CSRFromCOO(m, boolOr())
+		csc := CSCFromCOO(m, boolOr())
+		csc2 := CSCFromCSR(csr)
+		csr2 := CSRFromCSC(csc)
+		if csr.NNZ() != m.NNZ() || csc.NNZ() != m.NNZ() {
+			t.Fatalf("nnz mismatch after conversion")
+		}
+		for _, e := range m.Entries {
+			if _, ok := csr.At(e.Row, e.Col); !ok {
+				t.Fatalf("CSR missing (%d,%d)", e.Row, e.Col)
+			}
+			if _, ok := csc.At(e.Row, e.Col); !ok {
+				t.Fatalf("CSC missing (%d,%d)", e.Row, e.Col)
+			}
+			if _, ok := csc2.At(e.Row, e.Col); !ok {
+				t.Fatalf("CSCFromCSR missing (%d,%d)", e.Row, e.Col)
+			}
+			if _, ok := csr2.At(e.Row, e.Col); !ok {
+				t.Fatalf("CSRFromCSC missing (%d,%d)", e.Row, e.Col)
+			}
+		}
+		// Absent entries must read as absent.
+		for i := 0; i < 20; i++ {
+			for j := 0; j < 15; j++ {
+				_, inCSR := csr.At(i, j)
+				_, inCSC := csc.At(i, j)
+				if inCSR != inCSC {
+					t.Fatalf("presence mismatch at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCSCColNNZ(t *testing.T) {
+	m := NewCOO[bool](5, 3)
+	m.Append(0, 0, true)
+	m.Append(1, 0, true)
+	m.Append(4, 2, true)
+	csc := CSCFromCOO(m, boolOr())
+	nnz := csc.ColNNZ()
+	want := []int{2, 0, 1}
+	for j, w := range want {
+		if nnz[j] != w {
+			t.Errorf("ColNNZ[%d] = %d, want %d", j, nnz[j], w)
+		}
+	}
+}
+
+func TestDenseBasics(t *testing.T) {
+	d := NewDense[int64](2, 3)
+	d.Set(1, 2, 9)
+	if d.At(1, 2) != 9 {
+		t.Error("Set/At mismatch")
+	}
+	d.Update(1, 2, func(v int64) int64 { return v + 1 })
+	if d.At(1, 2) != 10 {
+		t.Error("Update mismatch")
+	}
+	row := d.Row(1)
+	if len(row) != 3 || row[2] != 10 {
+		t.Error("Row view wrong")
+	}
+	c := d.Clone()
+	c.Set(0, 0, 5)
+	if d.At(0, 0) == 5 {
+		t.Error("Clone must be deep")
+	}
+	other := NewDense[int64](2, 3)
+	other.Set(0, 0, 2)
+	d.AddInto(other, plusI64())
+	if d.At(0, 0) != 2 {
+		t.Error("AddInto failed")
+	}
+}
+
+func TestDenseMapZip(t *testing.T) {
+	a := NewDense[int64](2, 2)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 4)
+	b := Map(a, func(v int64) float64 { return float64(v) * 2 })
+	if b.At(0, 0) != 6 || b.At(1, 1) != 8 {
+		t.Error("Map wrong")
+	}
+	z := Zip(a, b, func(x int64, y float64) float64 { return float64(x) + y })
+	if z.At(1, 1) != 12 {
+		t.Error("Zip wrong")
+	}
+}
+
+func TestDenseShapePanics(t *testing.T) {
+	a := NewDense[int64](2, 2)
+	b := NewDense[int64](2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for shape mismatch")
+		}
+	}()
+	a.AddInto(b, plusI64())
+}
+
+func TestVectorCompactGet(t *testing.T) {
+	v := NewVector[int64](100)
+	v.Append(5, 1)
+	v.Append(3, 2)
+	v.Append(5, 3)
+	v.Append(99, 7)
+	v.Compact(plusI64())
+	if v.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", v.NNZ())
+	}
+	if x, ok := v.Get(5); !ok || x != 4 {
+		t.Errorf("Get(5) = %v,%v want 4,true", x, ok)
+	}
+	if _, ok := v.Get(4); ok {
+		t.Error("Get(4) should be absent")
+	}
+	pc := v.PrefixCounts()
+	if pc[3] != 0 || pc[5] != 1 || pc[99] != 2 {
+		t.Errorf("PrefixCounts = %v", pc)
+	}
+}
+
+func TestVectorAppendOutOfRange(t *testing.T) {
+	v := NewVector[int64](10)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	v.Append(10, 1)
+}
+
+func TestGramTSmallKnown(t *testing.T) {
+	// Samples: X1 = {0,1,2}, X2 = {1,2,3}, X3 = {5}
+	m := NewCOO[int64](6, 3)
+	for _, r := range []int{0, 1, 2} {
+		m.Append(r, 0, 1)
+	}
+	for _, r := range []int{1, 2, 3} {
+		m.Append(r, 1, 1)
+	}
+	m.Append(5, 2, 1)
+	csc := CSCFromCOO(m, plusI64())
+	b := GramT(csc, semiring.PlusTimesInt64())
+	want := [][]int64{
+		{3, 2, 0},
+		{2, 3, 0},
+		{0, 0, 1},
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if b.At(i, j) != want[i][j] {
+				t.Errorf("B[%d][%d] = %d, want %d", i, j, b.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+// GramT must agree with a brute-force triple loop on random matrices.
+func TestGramTMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		rows := 1 + rng.Intn(30)
+		cols := 1 + rng.Intn(10)
+		coo := NewCOO[int64](rows, cols)
+		dense := make([][]int64, rows)
+		for i := range dense {
+			dense[i] = make([]int64, cols)
+			for j := range dense[i] {
+				if rng.Float64() < 0.3 {
+					dense[i][j] = 1
+					coo.Append(i, j, 1)
+				}
+			}
+		}
+		csc := CSCFromCOO(coo, plusI64())
+		got := GramT(csc, semiring.PlusTimesInt64())
+		for i := 0; i < cols; i++ {
+			for j := 0; j < cols; j++ {
+				var want int64
+				for k := 0; k < rows; k++ {
+					want += dense[k][i] * dense[k][j]
+				}
+				if got.At(i, j) != want {
+					t.Fatalf("trial %d: B[%d][%d] = %d, want %d", trial, i, j, got.At(i, j), want)
+				}
+			}
+		}
+	}
+}
+
+func TestGramTAccumulateEqualsSumOfBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	rows, cols := 40, 8
+	coo := randomCOO(rng, rows, cols, 0.2)
+	cooInt := NewCOO[int64](rows, cols)
+	for _, e := range coo.Entries {
+		cooInt.Append(e.Row, e.Col, 1)
+	}
+	full := GramT(CSCFromCOO(cooInt, plusI64()), semiring.PlusTimesInt64())
+
+	acc := NewDense[int64](cols, cols)
+	for lo := 0; lo < rows; lo += 10 {
+		hi := lo + 10
+		if hi > rows {
+			hi = rows
+		}
+		batch := RowSlice(cooInt, lo, hi)
+		GramTAccumulate(CSCFromCOO(batch, plusI64()), semiring.PlusTimesInt64(), acc)
+	}
+	if !Equal(full, acc, func(a, b int64) bool { return a == b }) {
+		t.Error("sum of per-batch Gram products must equal the full Gram product")
+	}
+}
+
+func TestColReduceRowReduce(t *testing.T) {
+	m := NewCOO[int64](4, 3)
+	m.Append(0, 0, 1)
+	m.Append(1, 0, 1)
+	m.Append(2, 2, 1)
+	csc := CSCFromCOO(m, plusI64())
+	csr := CSRFromCOO(m, plusI64())
+	colSums := ColReduce(csc, plusI64(), func(v int64) int64 { return v })
+	if colSums[0] != 2 || colSums[1] != 0 || colSums[2] != 1 {
+		t.Errorf("ColReduce = %v", colSums)
+	}
+	rowSums := RowReduce(csr, plusI64(), func(v int64) int64 { return v })
+	if rowSums[0] != 1 || rowSums[3] != 0 {
+		t.Errorf("RowReduce = %v", rowSums)
+	}
+}
+
+func TestSpMV(t *testing.T) {
+	// A is 3x2: column 0 has rows {0,2}, column 1 has row {1}.
+	m := NewCOO[int64](3, 2)
+	m.Append(0, 0, 1)
+	m.Append(2, 0, 1)
+	m.Append(1, 1, 1)
+	csc := CSCFromCOO(m, plusI64())
+	x := []int64{10, 20, 30}
+	y := SpMV(csc, x, semiring.PlusTimesInt64())
+	if y[0] != 40 || y[1] != 20 {
+		t.Errorf("SpMV = %v, want [40 20]", y)
+	}
+}
+
+func TestSpMVLengthPanics(t *testing.T) {
+	m := NewCOO[int64](3, 2)
+	csc := CSCFromCOO(m, plusI64())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	SpMV(csc, []int64{1, 2}, semiring.PlusTimesInt64())
+}
+
+func TestSpGEMMMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		m, k, n := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		da := make([][]int64, m)
+		db := make([][]int64, k)
+		cooA := NewCOO[int64](m, k)
+		cooB := NewCOO[int64](k, n)
+		for i := range da {
+			da[i] = make([]int64, k)
+			for j := range da[i] {
+				if rng.Float64() < 0.3 {
+					v := int64(1 + rng.Intn(5))
+					da[i][j] = v
+					cooA.Append(i, j, v)
+				}
+			}
+		}
+		for i := range db {
+			db[i] = make([]int64, n)
+			for j := range db[i] {
+				if rng.Float64() < 0.3 {
+					v := int64(1 + rng.Intn(5))
+					db[i][j] = v
+					cooB.Append(i, j, v)
+				}
+			}
+		}
+		a := CSRFromCOO(cooA, plusI64())
+		b := CSRFromCOO(cooB, plusI64())
+		c := SpGEMM(a, b, semiring.PlusTimesInt64())
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var want int64
+				for t2 := 0; t2 < k; t2++ {
+					want += da[i][t2] * db[t2][j]
+				}
+				got, ok := c.At(i, j)
+				if !ok {
+					got = 0
+				}
+				if got != want {
+					t.Fatalf("trial %d: C[%d][%d] = %d, want %d", trial, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSpGEMMDimensionPanics(t *testing.T) {
+	a := CSRFromCOO(NewCOO[int64](2, 3), plusI64())
+	b := CSRFromCOO(NewCOO[int64](4, 2), plusI64())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	SpGEMM(a, b, semiring.PlusTimesInt64())
+}
+
+func TestFilterRows(t *testing.T) {
+	m := NewCOO[int64](10, 2)
+	m.Append(2, 0, 1)
+	m.Append(5, 1, 1)
+	m.Append(9, 0, 1)
+	keep := []int{2, 5, 9}
+	f := FilterRows(m, keep)
+	if f.NumRows != 3 {
+		t.Fatalf("filtered rows = %d, want 3", f.NumRows)
+	}
+	csr := CSRFromCOO(f, plusI64())
+	if _, ok := csr.At(0, 0); !ok {
+		t.Error("row 2 should map to filtered row 0")
+	}
+	if _, ok := csr.At(1, 1); !ok {
+		t.Error("row 5 should map to filtered row 1")
+	}
+	if _, ok := csr.At(2, 0); !ok {
+		t.Error("row 9 should map to filtered row 2")
+	}
+}
+
+// Filtering zero rows must not change the Gram product (the identity
+// A^(l)ᵀA^(l) = Ā^(l)ᵀĀ^(l) from Section III-B).
+func TestFilterRowsPreservesGram(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 30 + rng.Intn(50)
+		cols := 2 + rng.Intn(8)
+		coo := NewCOO[int64](rows, cols)
+		for i := 0; i < rows; i++ {
+			if rng.Float64() < 0.5 {
+				continue // leave many rows empty (hypersparse)
+			}
+			for j := 0; j < cols; j++ {
+				if rng.Float64() < 0.3 {
+					coo.Append(i, j, 1)
+				}
+			}
+		}
+		full := GramT(CSCFromCOO(coo, plusI64()), semiring.PlusTimesInt64())
+		filtered := FilterRows(coo, coo.NonEmptyRows())
+		fg := GramT(CSCFromCOO(filtered, plusI64()), semiring.PlusTimesInt64())
+		return Equal(full, fg, func(a, b int64) bool { return a == b })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowSlicePanics(t *testing.T) {
+	m := NewCOO[int64](5, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	RowSlice(m, 3, 7)
+}
+
+func TestRowSliceCoversAllRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewCOO[int64](27, 4)
+	for i := 0; i < 27; i++ {
+		for j := 0; j < 4; j++ {
+			if rng.Float64() < 0.4 {
+				m.Append(i, j, 1)
+			}
+		}
+	}
+	total := 0
+	for lo := 0; lo < 27; lo += 6 {
+		hi := lo + 6
+		if hi > 27 {
+			hi = 27
+		}
+		total += RowSlice(m, lo, hi).NNZ()
+	}
+	if total != m.NNZ() {
+		t.Errorf("batched nnz = %d, want %d", total, m.NNZ())
+	}
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	a := NewDense[int64](2, 2)
+	b := NewDense[int64](2, 3)
+	if Equal(a, b, func(x, y int64) bool { return x == y }) {
+		t.Error("different shapes must not be equal")
+	}
+}
+
+func TestSortIntsHelpers(t *testing.T) {
+	xs := []int{5, 3, 1, 4, 2}
+	sortInts(xs)
+	for i := 0; i < len(xs); i++ {
+		if xs[i] != i+1 {
+			t.Fatalf("sortInts wrong: %v", xs)
+		}
+	}
+	long := make([]int, 100)
+	for i := range long {
+		long[i] = 99 - i
+	}
+	sortInts(long)
+	for i := range long {
+		if long[i] != i {
+			t.Fatalf("sortInts long wrong at %d", i)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package stats provides the small statistical toolkit used by the
+// benchmark harness: means, standard deviations and 95% confidence
+// intervals computed the way the paper reports them ("we calculate 95%
+// confidence intervals for the reported mean values by assuming the batch
+// times are normally distributed samples", Fig. 2 caption), plus a timing
+// helper that discards warm-up batches as the paper discards the first
+// three batches of each run.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary describes a sample of measurements.
+type Summary struct {
+	// Count is the number of observations.
+	Count int
+	// Mean is the arithmetic mean.
+	Mean float64
+	// StdDev is the sample standard deviation (n−1 denominator).
+	StdDev float64
+	// CI95 is the half-width of the 95% confidence interval of the mean
+	// under a normal approximation (1.96·σ/√n).
+	CI95 float64
+	// Min and Max are the extreme observations.
+	Min, Max float64
+}
+
+// z95 is the 97.5th percentile of the standard normal distribution.
+const z95 = 1.959963984540054
+
+// Summarize computes summary statistics of xs. An empty input yields a
+// zero-valued summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+		s.CI95 = z95 * s.StdDev / math.Sqrt(float64(len(xs)))
+	}
+	return s
+}
+
+// String formats the summary as "mean ± ci95 (n=count)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, s.CI95, s.Count)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }
+
+// DiscardWarmup returns xs without its first `warmup` elements; if fewer
+// elements exist, an empty slice is returned. The paper discards the first
+// three batches of each run to exclude start-up costs.
+func DiscardWarmup(xs []float64, warmup int) []float64 {
+	if warmup < 0 {
+		warmup = 0
+	}
+	if warmup >= len(xs) {
+		return nil
+	}
+	return xs[warmup:]
+}
+
+// BatchSummary summarises per-batch times after discarding warm-up batches,
+// matching the methodology of Fig. 2b ("averaged across eight batches, not
+// considering the first three batches").
+func BatchSummary(batchSeconds []float64, warmup int) Summary {
+	return Summarize(DiscardWarmup(batchSeconds, warmup))
+}
+
+// ProjectTotal extrapolates the total runtime of a full dataset from the
+// mean per-batch time and the total number of batches needed, the way the
+// paper reports "projected total time" for the Kingsford and BIGSI runs.
+func ProjectTotal(meanBatchSeconds float64, totalBatches int) float64 {
+	if totalBatches < 0 {
+		return 0
+	}
+	return meanBatchSeconds * float64(totalBatches)
+}
+
+// Speedup returns base/current; it is the strong-scaling speed-up used in
+// the Fig. 2a discussion (e.g. "42.2× relative to single node").
+func Speedup(baseSeconds, currentSeconds float64) float64 {
+	if currentSeconds == 0 {
+		return math.Inf(1)
+	}
+	return baseSeconds / currentSeconds
+}
+
+// ParallelEfficiency returns Speedup / (p/p0), the strong-scaling
+// efficiency relative to a baseline processor count p0.
+func ParallelEfficiency(baseSeconds, currentSeconds float64, p0, p int) float64 {
+	if p <= 0 || p0 <= 0 {
+		return 0
+	}
+	return Speedup(baseSeconds, currentSeconds) / (float64(p) / float64(p0))
+}
+
+// WeakScalingEfficiency returns (workRatio / timeRatio): with work per
+// processor held constant an ideal system yields 1. The paper reports a
+// 64× work increase with a 35.3× time increase as a 1.81× "efficiency
+// improvement" (Fig. 2f); this helper reproduces that arithmetic.
+func WeakScalingEfficiency(workRatio, timeRatio float64) float64 {
+	if timeRatio == 0 {
+		return math.Inf(1)
+	}
+	return workRatio / timeRatio
+}
+
+// GeometricMean returns the geometric mean of positive observations; zero
+// or negative entries are skipped.
+func GeometricMean(xs []float64) float64 {
+	var logSum float64
+	count := 0
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(count))
+}

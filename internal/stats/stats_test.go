@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 || s.CI95 != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.Count != 1 || s.Mean != 42 || s.StdDev != 0 || s.CI95 != 0 || s.Min != 42 || s.Max != 42 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s := Summarize(xs)
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	// Sample stddev of this classic dataset is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	wantCI := 1.959963984540054 * want / math.Sqrt(8)
+	if math.Abs(s.CI95-wantCI) > 1e-12 {
+		t.Errorf("CI95 = %v, want %v", s.CI95, wantCI)
+	}
+	if s.String() == "" {
+		t.Error("String should not be empty")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean of empty should be 0")
+	}
+}
+
+func TestDiscardWarmup(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := DiscardWarmup(xs, 2); len(got) != 2 || got[0] != 30 {
+		t.Errorf("DiscardWarmup = %v", got)
+	}
+	if got := DiscardWarmup(xs, 10); got != nil {
+		t.Errorf("over-discard = %v", got)
+	}
+	if got := DiscardWarmup(xs, -1); len(got) != 4 {
+		t.Errorf("negative warmup = %v", got)
+	}
+}
+
+func TestBatchSummaryMatchesPaperMethodology(t *testing.T) {
+	// First three batches are start-up noise, the rest are steady.
+	batches := []float64{100, 90, 80, 10, 10, 10, 10, 10, 10, 10, 10}
+	s := BatchSummary(batches, 3)
+	if s.Count != 8 {
+		t.Errorf("Count = %d, want 8", s.Count)
+	}
+	if s.Mean != 10 {
+		t.Errorf("Mean = %v, want 10", s.Mean)
+	}
+}
+
+func TestProjectTotal(t *testing.T) {
+	if ProjectTotal(2.5, 100) != 250 {
+		t.Error("ProjectTotal wrong")
+	}
+	if ProjectTotal(2.5, -1) != 0 {
+		t.Error("negative batches should be 0")
+	}
+}
+
+func TestSpeedupAndEfficiency(t *testing.T) {
+	if Speedup(100, 25) != 4 {
+		t.Error("Speedup wrong")
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Error("Speedup by zero should be +Inf")
+	}
+	if ParallelEfficiency(100, 25, 1, 4) != 1 {
+		t.Error("perfect efficiency should be 1")
+	}
+	if ParallelEfficiency(100, 50, 1, 4) != 0.5 {
+		t.Error("half efficiency should be 0.5")
+	}
+	if ParallelEfficiency(1, 1, 0, 4) != 0 {
+		t.Error("invalid p0 should be 0")
+	}
+}
+
+func TestWeakScalingEfficiency(t *testing.T) {
+	// The paper's Fig. 2f arithmetic: 64× more work, 35.3× more time → 1.81×.
+	got := WeakScalingEfficiency(64, 35.3)
+	if math.Abs(got-1.813) > 0.01 {
+		t.Errorf("WeakScalingEfficiency = %v, want ≈1.81", got)
+	}
+	if !math.IsInf(WeakScalingEfficiency(1, 0), 1) {
+		t.Error("zero time ratio should be +Inf")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if math.Abs(GeometricMean([]float64{1, 4, 16})-4) > 1e-12 {
+		t.Error("GeometricMean wrong")
+	}
+	if GeometricMean([]float64{0, -1}) != 0 {
+		t.Error("non-positive only should be 0")
+	}
+	if math.Abs(GeometricMean([]float64{0, 4, 4})-4) > 1e-12 {
+		t.Error("zeros must be skipped")
+	}
+}
+
+// Property: the mean lies within [Min, Max] and the CI is non-negative.
+func TestSummarizeInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				xs = append(xs, x)
+			}
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return s.Count == 0
+		}
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.CI95 >= 0 && s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
