@@ -232,6 +232,24 @@ func BenchmarkDistributedPipeline8Ranks(b *testing.B) {
 	}
 }
 
+func BenchmarkDistributedPipeline12Ranks3Layers(b *testing.B) {
+	// The replicated 2×2×3 grid: exercises the inter-layer reduction and the
+	// panel broadcasts of internal/dist, the hot path of the paper's c > 1
+	// ablation (Section V-C).
+	ds := benchmarkProxy(b)
+	opts := core.DefaultOptions()
+	opts.BatchCount = 4
+	opts.Procs = 12
+	opts.Replication = 3
+	opts.SkipGather = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compute(ds, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkExactJaccardBaseline(b *testing.B) {
 	ds := benchmarkProxy(b)
 	b.ResetTimer()

@@ -1,0 +1,3 @@
+module genomeatscale
+
+go 1.24

@@ -253,6 +253,23 @@ func TestEntriesFromEntriesRoundTrip(t *testing.T) {
 	}
 }
 
+func TestFromEntriesUnsortedMatchesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	csc := randomIndicator(rng, 150, 6, 0.15)
+	p := PackCSC(csc, 32)
+	entries := p.Entries()
+	shuffled := append([]PackedEntry(nil), entries...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	a := FromEntries(entries, p.WordRows, p.Cols, p.B, p.ActiveRows)
+	b := FromEntries(shuffled, p.WordRows, p.Cols, p.B, p.ActiveRows)
+	if !sparse.Equal(a.Gram(), b.Gram(), func(x, y int64) bool { return x == y }) {
+		t.Error("unsorted entries assemble a different matrix than sorted entries")
+	}
+	if a.NNZWords() != b.NNZWords() {
+		t.Errorf("NNZWords = %d vs %d", a.NNZWords(), b.NNZWords())
+	}
+}
+
 func TestFromEntriesCombinesDuplicates(t *testing.T) {
 	entries := []PackedEntry{
 		{WordRow: 0, Col: 0, Word: 0b01},

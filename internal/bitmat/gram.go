@@ -180,17 +180,19 @@ type PackedEntry struct {
 }
 
 // FromEntries rebuilds a Packed matrix from coordinate packed entries.
-// Entries for the same (wordRow, col) are OR-combined.
+// Entries for the same (wordRow, col) are OR-combined. Entries already
+// sorted by (col, wordRow) — the order Packed.Entries and the batch packing
+// in internal/core emit — are assembled in a single linear pass.
 func FromEntries(entries []PackedEntry, wordRows, cols, b, activeRows int) *Packed {
-	perCol := make([]map[int]uint64, cols)
-	for _, e := range entries {
+	sorted := true
+	for i, e := range entries {
 		if e.Col < 0 || e.Col >= cols || e.WordRow < 0 || e.WordRow >= wordRows {
 			panic(fmt.Sprintf("bitmat: entry (%d,%d) out of range %dx%d", e.WordRow, e.Col, wordRows, cols))
 		}
-		if perCol[e.Col] == nil {
-			perCol[e.Col] = make(map[int]uint64)
+		if i > 0 && (e.Col < entries[i-1].Col ||
+			(e.Col == entries[i-1].Col && e.WordRow < entries[i-1].WordRow)) {
+			sorted = false
 		}
-		perCol[e.Col][e.WordRow] |= e.Word
 	}
 	out := &Packed{
 		WordRows:   wordRows,
@@ -198,6 +200,31 @@ func FromEntries(entries []PackedEntry, wordRows, cols, b, activeRows int) *Pack
 		B:          b,
 		ActiveRows: activeRows,
 		colPtr:     make([]int, cols+1),
+	}
+	if sorted {
+		for i := 0; i < len(entries); {
+			e := entries[i]
+			word := e.Word
+			for i++; i < len(entries) && entries[i].Col == e.Col && entries[i].WordRow == e.WordRow; i++ {
+				word |= entries[i].Word
+			}
+			out.wordRow = append(out.wordRow, e.WordRow)
+			out.words = append(out.words, word)
+			out.colPtr[e.Col+1] = len(out.words)
+		}
+		for j := 1; j <= cols; j++ {
+			if out.colPtr[j] < out.colPtr[j-1] {
+				out.colPtr[j] = out.colPtr[j-1]
+			}
+		}
+		return out
+	}
+	perCol := make([]map[int]uint64, cols)
+	for _, e := range entries {
+		if perCol[e.Col] == nil {
+			perCol[e.Col] = make(map[int]uint64)
+		}
+		perCol[e.Col][e.WordRow] |= e.Word
 	}
 	for j := 0; j < cols; j++ {
 		m := perCol[j]

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"genomeatscale/internal/bitmat"
+	"genomeatscale/internal/bitutil"
+	"genomeatscale/internal/dist"
+)
+
+// This file is the batch stage shared by both execution modes. For every
+// batch A(l), ComputeSequential and Compute run the same pipeline:
+//
+//	sliceBatch   — range-slice each visible sample's attributes (Eq. 3)
+//	filter       — sorted distinct nonzero rows f(l) (Eq. 5); the sequential
+//	               path sees every sample and uses dist.Compact directly,
+//	               the distributed path exchanges writes through
+//	               dist.FilterVector
+//	packBatch    — compact rows via dist.CompactIndex (Eq. 6) and pack them
+//	               into MaskBits-wide words (Â(l), Section III-B)
+//
+// The modes differ only in which samples are visible to a process and in
+// who accumulates the Gram contribution (a local dense accumulator versus
+// the processor-grid engine in internal/dist).
+
+// validateRun is the shared input guard of both execution modes: option
+// consistency plus the attribute-universe bound (row indices must fit the
+// int64 arithmetic of the filter and prefix-sum machinery).
+func validateRun(ds Dataset, opts Options) error {
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	if m := ds.NumAttributes(); m > uint64(1)<<62 {
+		return fmt.Errorf("core: attribute universe %d exceeds 2^62; remap attributes to a smaller universe", m)
+	}
+	return nil
+}
+
+// batchColumn is one sample's share of a batch: the attribute values of
+// column `col` that fall inside the batch range.
+type batchColumn struct {
+	col  int
+	vals []uint64
+}
+
+// sliceBatch extracts the batch range [lo, hi) of the listed samples. It
+// returns the non-empty columns and the flattened batch-rebased row list
+// (the rows this process would write into the filter vector).
+func sliceBatch(ds Dataset, cols []int, lo, hi uint64) ([]batchColumn, []int64) {
+	if lo >= hi {
+		return nil, nil
+	}
+	var columns []batchColumn
+	var rows []int64
+	for _, j := range cols {
+		vals := rangeSlice(ds.Sample(j), lo, hi)
+		if len(vals) == 0 {
+			continue
+		}
+		columns = append(columns, batchColumn{col: j, vals: vals})
+		for _, v := range vals {
+			rows = append(rows, int64(v-lo))
+		}
+	}
+	return columns, rows
+}
+
+// packBatch compacts each column's batch rows against the sorted nonzero
+// row list (Eq. 6) and packs them into MaskBits-wide words, emitting the
+// packed matrix Â(l) in coordinate form. nonzero must contain every row
+// present in columns (guaranteed when it came from the same writes).
+func packBatch(columns []batchColumn, nonzero []int64, lo uint64, maskBits int) ([]bitmat.PackedEntry, error) {
+	var entries []bitmat.PackedEntry
+	for _, cr := range columns {
+		prevWord := -1
+		var cur uint64
+		for _, v := range cr.vals {
+			ci := dist.CompactIndex(nonzero, int64(v-lo))
+			if ci < 0 {
+				return nil, fmt.Errorf("core: row %d missing from filter", v-lo)
+			}
+			w := ci / maskBits
+			if w != prevWord {
+				if prevWord >= 0 {
+					entries = append(entries, bitmat.PackedEntry{WordRow: prevWord, Col: cr.col, Word: cur})
+				}
+				prevWord = w
+				cur = 0
+			}
+			cur |= 1 << uint(ci%maskBits)
+		}
+		if prevWord >= 0 {
+			entries = append(entries, bitmat.PackedEntry{WordRow: prevWord, Col: cr.col, Word: cur})
+		}
+	}
+	return entries, nil
+}
+
+// wordRowsFor returns ceil(active / maskBits), the packed height of a batch.
+func wordRowsFor(active, maskBits int) int {
+	return bitutil.WordsFor(active, maskBits)
+}

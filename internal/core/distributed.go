@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"genomeatscale/internal/bitmat"
 	"genomeatscale/internal/bsp"
 	"genomeatscale/internal/dist"
 )
@@ -23,10 +22,13 @@ import (
 //	â is accumulated per rank and combined once at the end              (Eq. 4)
 //	S and D are derived blockwise and optionally gathered at rank 0     (Eq. 2)
 //
-// All communication flows through the BSP runtime, so Result.Stats.Comm
-// reports the exact per-superstep byte volumes of the run.
+// The per-batch stage (sliceBatch → filter → packBatch) is the same code
+// the sequential path runs; only the filter exchange and the Gram
+// accumulation differ. All communication flows through the BSP runtime, so
+// Result.Stats.Comm reports the exact per-superstep byte volumes of the
+// run.
 func Compute(ds Dataset, opts Options) (*Result, error) {
-	if err := opts.Validate(); err != nil {
+	if err := validateRun(ds, opts); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -35,9 +37,6 @@ func Compute(ds Dataset, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: dataset has no samples")
 	}
 	m := ds.NumAttributes()
-	if m > uint64(1)<<62 {
-		return nil, fmt.Errorf("core: attribute universe %d exceeds 2^62; remap attributes to a smaller universe", m)
-	}
 
 	res := &Result{N: n, Names: sampleNames(ds)}
 	res.Stats.IndicatorNonzeros = TotalNonzeros(ds)
@@ -56,29 +55,10 @@ func Compute(ds Dataset, opts Options) (*Result, error) {
 			batchStart := time.Now()
 			lo, hi := batchBounds(m, opts.BatchCount, l)
 
-			// Gather this rank's slice of the batch: attribute values of the
-			// samples it owns, re-based to the batch origin.
-			type colRows struct {
-				col  int
-				rows []uint64
-			}
-			var ownedRows []colRows
-			var localRows []int64
-			if lo < hi {
-				for _, j := range owned {
-					vals := rangeSlice(ds.Sample(j), lo, hi)
-					if len(vals) == 0 {
-						continue
-					}
-					ownedRows = append(ownedRows, colRows{col: j, rows: vals})
-					for _, v := range vals {
-						localRows = append(localRows, int64(v-lo))
-					}
-				}
-			}
-
-			// Filter vector and replicated prefix sum.
-			length := int64(hi - lo)
+			// Shared batch stage over the owned samples only; the filter
+			// vector exchange replicates the global nonzero set (Eq. 5, 6).
+			columns, localRows := sliceBatch(ds, owned, lo, hi)
+			length := int64(hi) - int64(lo)
 			if length <= 0 {
 				length = 1
 			}
@@ -86,25 +66,12 @@ func Compute(ds Dataset, opts Options) (*Result, error) {
 			filter.Write(localRows)
 			nonzero := filter.Replicate()
 			active := len(nonzero)
-			wordRows := (active + opts.MaskBits - 1) / opts.MaskBits
 
-			// Compression: pack each owned sample's compacted rows.
-			var entries []bitmat.PackedEntry
-			for _, cr := range ownedRows {
-				perWord := make(map[int]uint64)
-				for _, v := range cr.rows {
-					ci := dist.CompactIndex(nonzero, int64(v-lo))
-					if ci < 0 {
-						return fmt.Errorf("core: batch %d row %d missing from filter", l, v-lo)
-					}
-					perWord[ci/opts.MaskBits] |= 1 << uint(ci%opts.MaskBits)
-				}
-				for w, word := range perWord {
-					entries = append(entries, bitmat.PackedEntry{WordRow: w, Col: cr.col, Word: word})
-				}
+			entries, err := packBatch(columns, nonzero, lo, opts.MaskBits)
+			if err != nil {
+				return fmt.Errorf("batch %d: %w", l, err)
 			}
-
-			engine.AddBatch(entries, wordRows, opts.MaskBits, active)
+			engine.AddBatch(entries, wordRowsFor(active, opts.MaskBits), opts.MaskBits, active)
 
 			if p.Rank() == 0 {
 				res.Stats.Batches++

@@ -125,6 +125,9 @@ func TestComputeRejectsHugeUniverse(t *testing.T) {
 	if _, err := Compute(ds, DefaultOptions()); err == nil {
 		t.Error("universe beyond 2^62 should be rejected by the distributed path")
 	}
+	if _, err := ComputeSequential(ds, DefaultOptions()); err == nil {
+		t.Error("universe beyond 2^62 should be rejected by the sequential path too")
+	}
 }
 
 func TestDistributedReplicationExceedingRanks(t *testing.T) {

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"genomeatscale/internal/sparse"
+)
+
+// TestEquivalenceGrid cross-checks the three computation paths — Compute,
+// ComputeSequential and ExactJaccard — over the full configuration grid of
+// Procs ∈ {2, 4, 8, 9, 12}, Replication ∈ {1, 2, 3}, BatchCount ∈ {1, 3, 7}
+// and MaskBits ∈ {8, 32, 64}, to 1e-12. Sample counts are deliberately
+// ragged (prime or otherwise not divisible by the grid dimensions) so block
+// boundaries, empty blocks and uneven cyclic ownership are all exercised.
+func TestEquivalenceGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	intEq := func(a, b int64) bool { return a == b }
+
+	for _, procs := range []int{2, 4, 8, 9, 12} {
+		// Ragged n relative to every grid this procs count can form.
+		n := 13
+		if procs == 4 || procs == 8 {
+			n = 11
+		}
+		m := uint64(300 + rng.Intn(900))
+		ds := randomDataset(rng, n, m, 0.03+rng.Float64()*0.05)
+		exact := ExactJaccard(ds)
+
+		for _, batches := range []int{1, 3, 7} {
+			for _, maskBits := range []int{8, 32, 64} {
+				seqOpts := DefaultOptions()
+				seqOpts.BatchCount = batches
+				seqOpts.MaskBits = maskBits
+				seq, err := ComputeSequential(ds, seqOpts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sparse.Equal(exact, seq.S, approxEqual) {
+					t.Fatalf("batches=%d b=%d: sequential S differs from exact", batches, maskBits)
+				}
+
+				for _, repl := range []int{1, 2, 3} {
+					name := fmt.Sprintf("p%d_c%d_l%d_b%d", procs, repl, batches, maskBits)
+					t.Run(name, func(t *testing.T) {
+						opts := seqOpts
+						opts.Procs = procs
+						opts.Replication = repl
+						res, err := Compute(ds, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !sparse.Equal(exact, res.S, approxEqual) {
+							t.Error("distributed S differs from exact")
+						}
+						if !sparse.Equal(seq.S, res.S, approxEqual) {
+							t.Error("distributed S differs from sequential")
+						}
+						if !sparse.Equal(seq.D, res.D, approxEqual) {
+							t.Error("distributed D differs from sequential")
+						}
+						if !sparse.Equal(seq.B, res.B, intEq) {
+							t.Error("distributed B differs from sequential")
+						}
+						for i := 0; i < n; i++ {
+							if res.Cardinalities[i] != seq.Cardinalities[i] {
+								t.Fatalf("cardinality mismatch for sample %d", i)
+							}
+						}
+						comm := res.Stats.Comm
+						if comm == nil {
+							t.Fatal("distributed run must record communication stats")
+						}
+						if comm.Supersteps == 0 || len(comm.HRelations) != comm.Supersteps {
+							t.Errorf("inconsistent superstep accounting: %d steps, %d h-relations",
+								comm.Supersteps, len(comm.HRelations))
+						}
+						if comm.TotalBytes == 0 || comm.SumHRelations() == 0 {
+							t.Error("multi-rank run must report nonzero per-superstep byte volumes")
+						}
+					})
+				}
+			}
+		}
+	}
+}

@@ -1,10 +1,10 @@
 package core
 
 import (
-	"slices"
 	"time"
 
 	"genomeatscale/internal/bitmat"
+	"genomeatscale/internal/dist"
 	"genomeatscale/internal/sparse"
 )
 
@@ -13,10 +13,13 @@ import (
 // each batch filters out empty rows, compresses the surviving rows into
 // MaskBits-wide masks, and accumulates its Gram contribution into B with
 // the popcount kernel (Listing 1 of the paper, without the distribution).
-// It serves both as the single-node execution mode of GenomeAtScale and as
-// the reference the distributed path is verified against.
+// It runs the same batch stage (sliceBatch → filter → packBatch) as the
+// distributed path — every sample is visible, so the filter needs no
+// exchange — and serves both as the single-node execution mode of
+// GenomeAtScale and as the reference the distributed path is verified
+// against.
 func ComputeSequential(ds Dataset, opts Options) (*Result, error) {
-	if err := opts.Validate(); err != nil {
+	if err := validateRun(ds, opts); err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -30,7 +33,9 @@ func ComputeSequential(ds Dataset, opts Options) (*Result, error) {
 	}
 	b := sparse.NewDense[int64](n, n)
 
+	allCols := make([]int, n)
 	for i := 0; i < n; i++ {
+		allCols[i] = i
 		res.Cardinalities[i] = int64(len(ds.Sample(i)))
 		res.Stats.IndicatorNonzeros += int64(len(ds.Sample(i)))
 	}
@@ -38,48 +43,23 @@ func ComputeSequential(ds Dataset, opts Options) (*Result, error) {
 	for l := 0; l < opts.BatchCount; l++ {
 		batchStart := time.Now()
 		lo, hi := batchBounds(m, opts.BatchCount, l)
-		if lo >= hi {
-			res.Stats.Batches++
-			res.Stats.BatchSeconds = append(res.Stats.BatchSeconds, time.Since(batchStart).Seconds())
-			res.Stats.ActiveRowsPerBatch = append(res.Stats.ActiveRowsPerBatch, 0)
-			continue
-		}
 
-		// Build the filter f(l): the sorted distinct attribute values present
-		// in this batch across all samples (Eq. 5), then the per-sample
-		// compacted row lists via the prefix-sum positions (Eq. 6).
-		batchValues := make([][]uint64, n)
-		filter := make(map[uint64]struct{})
-		for j := 0; j < n; j++ {
-			vals := rangeSlice(ds.Sample(j), lo, hi)
-			batchValues[j] = vals
-			for _, v := range vals {
-				filter[v] = struct{}{}
-			}
+		// Shared batch stage: slice, filter (Eq. 5), compact and pack
+		// (Eq. 6, Section III-B). A single process observes every write, so
+		// dist.Compact of the local rows is the whole filter vector.
+		columns, localRows := sliceBatch(ds, allCols, lo, hi)
+		nonzero := dist.Compact(localRows)
+		active := len(nonzero)
+		entries, err := packBatch(columns, nonzero, lo, opts.MaskBits)
+		if err != nil {
+			return nil, err
 		}
-		nonzeroRows := sortedKeys(filter)
-		active := len(nonzeroRows)
-		res.Stats.ActiveRowsPerBatch = append(res.Stats.ActiveRowsPerBatch, int64(active))
-
-		// Compress: pack each sample's compacted rows into MaskBits-wide
-		// words (Â(l), Section III-B) and accumulate the Gram contribution.
-		rowsPerCol := make([][]int, n)
-		for j := 0; j < n; j++ {
-			vals := batchValues[j]
-			if len(vals) == 0 {
-				continue
-			}
-			rows := make([]int, len(vals))
-			for k, v := range vals {
-				rows[k] = searchSorted(nonzeroRows, v)
-			}
-			rowsPerCol[j] = rows
-		}
-		packed := bitmat.PackColumns(rowsPerCol, active, opts.MaskBits)
+		packed := bitmat.FromEntries(entries, wordRowsFor(active, opts.MaskBits), n, opts.MaskBits, active)
 		packed.GramAccumulate(b)
 
 		res.Stats.Batches++
 		res.Stats.BatchSeconds = append(res.Stats.BatchSeconds, time.Since(batchStart).Seconds())
+		res.Stats.ActiveRowsPerBatch = append(res.Stats.ActiveRowsPerBatch, int64(active))
 	}
 
 	finalize(res, b, opts)
@@ -87,7 +67,9 @@ func ComputeSequential(ds Dataset, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// finalize derives S and D from B and the per-sample cardinalities (Eq. 2).
+// finalize derives S and D from B and the per-sample cardinalities through
+// the shared Eq. 2 scalar, matching the blockwise derivation the
+// distributed path performs in dist.Blocks.
 func finalize(res *Result, b *sparse.Dense[int64], opts Options) {
 	if opts.SkipGather {
 		return
@@ -98,14 +80,7 @@ func finalize(res *Result, b *sparse.Dense[int64], opts Options) {
 	res.D = sparse.NewDense[float64](n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			bij := b.At(i, j)
-			cij := res.Cardinalities[i] + res.Cardinalities[j] - bij
-			var s float64
-			if cij == 0 {
-				s = 1
-			} else {
-				s = float64(bij) / float64(cij)
-			}
+			s := dist.Jaccard(b.At(i, j), res.Cardinalities[i], res.Cardinalities[j])
 			res.S.Set(i, j, s)
 			res.D.Set(i, j, 1-s)
 		}
@@ -118,20 +93,4 @@ func sampleNames(ds Dataset) []string {
 		names[i] = ds.SampleName(i)
 	}
 	return names
-}
-
-func sortedKeys(set map[uint64]struct{}) []uint64 {
-	out := make([]uint64, 0, len(set))
-	for k := range set {
-		out = append(out, k)
-	}
-	slices.Sort(out)
-	return out
-}
-
-// searchSorted returns the index of v in the sorted slice xs; v must be
-// present (guaranteed by construction of the filter).
-func searchSorted(xs []uint64, v uint64) int {
-	idx, _ := slices.BinarySearch(xs, v)
-	return idx
 }

@@ -1,0 +1,81 @@
+// Package dist implements the distributed execution layer of
+// SimilarityAtScale (Section III-C of the paper): the √(p/c) × √(p/c) × c
+// processor grid with cyclic sample ownership, the distributed filter
+// vector f(l) with its replicated prefix-sum row compaction (Eq. 5, 6), and
+// the processor-grid Gram engine that accumulates B = ÂᵀÂ batch by batch
+// over the BSP runtime (Eq. 4, 7) before deriving S and D blockwise
+// (Eq. 2).
+//
+// The package is consumed by internal/core: both the distributed Compute
+// path and the single-process ComputeSequential path share the compaction
+// primitives (Compact, CompactIndex) and the Eq. 2 scalar (Jaccard), so the
+// two execution modes are algebraically the same pipeline and differ only
+// in where the data lives.
+package dist
+
+import (
+	"genomeatscale/internal/bsp"
+	"genomeatscale/internal/grid"
+)
+
+// Context binds one BSP rank to its position in the processor grid. All
+// dist operations of a run are performed through the same Context, which
+// guarantees every rank agrees on the grid layout (the grid is a pure
+// function of NProcs and the replication factor).
+type Context struct {
+	// P is this rank's BSP handle.
+	P *bsp.Proc
+	// Grid is the √(p/c) × √(p/c) × c processor grid chosen for the run.
+	Grid grid.Grid
+	// Row, Col, Layer are this rank's grid coordinates.
+	Row, Col, Layer int
+}
+
+// NewContext arranges the run's ranks as a processor grid with the
+// requested replication factor (clamped by grid.Choose so every rank is
+// used) and locates this rank in it.
+func NewContext(p *bsp.Proc, replication int) *Context {
+	g := grid.Choose(p.NProcs(), replication)
+	row, col, layer := g.Coords(p.Rank())
+	return &Context{P: p, Grid: g, Row: row, Col: col, Layer: layer}
+}
+
+// OwnedSamples returns the samples this rank reads, under the cyclic
+// distribution the paper uses for input files (Listing 2): rank r owns
+// samples r, r+p, r+2p, …
+func (c *Context) OwnedSamples(n int) []int {
+	return grid.CyclicItems(n, c.P.NProcs(), c.P.Rank())
+}
+
+// RowBlock returns the half-open range of B rows (equivalently, of Âᵀ
+// columns) owned by this rank's grid row when n samples are split into
+// Grid.Rows contiguous blocks.
+func (c *Context) RowBlock(n int) (lo, hi int) {
+	return grid.BlockRange(n, c.Grid.Rows, c.Row)
+}
+
+// ColBlock returns the half-open range of B columns owned by this rank's
+// grid column.
+func (c *Context) ColBlock(n int) (lo, hi int) {
+	return grid.BlockRange(n, c.Grid.Cols, c.Col)
+}
+
+// LayerWordRows returns the half-open word-row range of the contraction
+// dimension assigned to this rank's replication layer: each of the c
+// layers multiplies 1/c of the packed word rows of Â(l).
+func (c *Context) LayerWordRows(wordRows int) (lo, hi int) {
+	return grid.BlockRange(wordRows, c.Grid.Layers, c.Layer)
+}
+
+// Jaccard derives one similarity entry from an intersection cardinality and
+// the two sample cardinalities (Eq. 2): J = b_ij / (â_i + â_j − b_ij), with
+// the paper's J(∅, ∅) = 1 convention when the union is empty. It is the
+// single Eq. 2 implementation shared by the sequential finalization in
+// internal/core and the blockwise derivation in Blocks.
+func Jaccard(bij, ci, cj int64) float64 {
+	union := ci + cj - bij
+	if union == 0 {
+		return 1
+	}
+	return float64(bij) / float64(union)
+}

@@ -1,0 +1,313 @@
+package dist
+
+import (
+	"fmt"
+
+	"genomeatscale/internal/bitmat"
+	"genomeatscale/internal/bsp"
+	"genomeatscale/internal/grid"
+	"genomeatscale/internal/sparse"
+)
+
+// Tags for the engine's point-to-point traffic. Collectives use negative
+// tags, so any non-negative constants are safe; distinct values keep the A
+// and B panels of one superstep separable in the shared inbox.
+const (
+	tagAPanel       = 101
+	tagBPanel       = 102
+	tagLayerPartial = 103
+)
+
+// entrySlice is the wire form of a batch of packed-word coordinates. Each
+// entry carries a word row, a column and a 64-bit mask word: 24 bytes.
+type entrySlice []bitmat.PackedEntry
+
+// ByteSize implements bsp.ByteSizer so the BSP accounting charges the exact
+// coordinate volume (8 bytes each for word row, column and mask word).
+func (e entrySlice) ByteSize() int { return 24 * len(e) }
+
+// packedWire moves a packed block between ranks: the coordinate entries
+// plus the dimensions needed to rebuild it with bitmat.FromEntries.
+type packedWire struct {
+	Entries    entrySlice
+	WordRows   int
+	Cols       int
+	B          int
+	ActiveRows int
+}
+
+// ByteSize implements bsp.ByteSizer: the entries plus four dimension words.
+func (w packedWire) ByteSize() int { return w.Entries.ByteSize() + 32 }
+
+func toWire(p *bitmat.Packed) packedWire {
+	return packedWire{
+		Entries:    p.Entries(),
+		WordRows:   p.WordRows,
+		Cols:       p.Cols,
+		B:          p.B,
+		ActiveRows: p.ActiveRows,
+	}
+}
+
+func fromWire(w packedWire) *bitmat.Packed {
+	return bitmat.FromEntries(w.Entries, w.WordRows, w.Cols, w.B, w.ActiveRows)
+}
+
+// GramEngine accumulates the distributed Gram product B = Σ_l Â(l)ᵀÂ(l)
+// (Eq. 4, 7) on the processor grid. Rank (s, t, q) owns the (s, t) block of
+// B under the contiguous block distribution of the n samples over the
+// per-layer 2D grid, and layer q contributes the word-row slice
+// LayerWordRows of every batch's contraction dimension; Finalize sums the
+// per-layer partial blocks (the 3D algorithm's inter-layer reduction).
+type GramEngine struct {
+	ctx *Context
+	n   int
+
+	rowLo, rowHi int // B rows owned by this rank's grid row
+	colLo, colHi int // B cols owned by this rank's grid column
+
+	acc *sparse.Dense[int64] // this layer's partial block of B
+}
+
+// NewGramEngine prepares a per-rank engine for an n-sample run.
+func NewGramEngine(ctx *Context, n int) *GramEngine {
+	e := &GramEngine{ctx: ctx, n: n}
+	e.rowLo, e.rowHi = ctx.RowBlock(n)
+	e.colLo, e.colHi = ctx.ColBlock(n)
+	e.acc = sparse.NewDense[int64](e.rowHi-e.rowLo, e.colHi-e.colLo)
+	return e
+}
+
+// AddBatch folds one batch's compressed matrix Â(l) into the accumulator.
+// Every rank passes the packed-word coordinates of its owned samples
+// (columns); the engine routes each word to the layer owning its slice of
+// the contraction dimension, assembles the per-grid-row A panel and
+// per-grid-column B panel there, replicates the panels along grid.RowPeers
+// and grid.ColPeers (the SUMMA broadcast pattern), and multiplies the local
+// panels with the popcount-AND kernel. AddBatch is a collective: all ranks
+// must call it once per batch with the same wordRows/maskBits/activeRows.
+//
+// Three supersteps per batch: A-panel routing, B-panel routing, panel
+// broadcast.
+func (e *GramEngine) AddBatch(entries []bitmat.PackedEntry, wordRows, maskBits, activeRows int) {
+	g := e.ctx.Grid
+	p := e.ctx.P
+	np := p.NProcs()
+
+	// Route every packed word to the home ranks of its panel blocks within
+	// the layer that owns its word row: column j of Â contributes to grid
+	// row BlockOwner(n, Rows, j) as part of the Aᵀ operand (home (s, 0, q))
+	// and to grid column BlockOwner(n, Cols, j) as part of the A operand
+	// (home (0, t, q)).
+	aOut := make([]entrySlice, np)
+	bOut := make([]entrySlice, np)
+	for _, ent := range entries {
+		if ent.WordRow < 0 || ent.WordRow >= wordRows {
+			panic(fmt.Sprintf("dist: word row %d out of range [0,%d)", ent.WordRow, wordRows))
+		}
+		layer := grid.BlockOwner(wordRows, g.Layers, ent.WordRow)
+		s := grid.BlockOwner(e.n, g.Rows, ent.Col)
+		t := grid.BlockOwner(e.n, g.Cols, ent.Col)
+		aHome := g.Rank(s, 0, layer)
+		bHome := g.Rank(0, t, layer)
+		aOut[aHome] = append(aOut[aHome], ent)
+		bOut[bHome] = append(bOut[bHome], ent)
+	}
+	aIn := bsp.AllToAll(p, aOut)
+	bIn := bsp.AllToAll(p, bOut)
+
+	layerLo, layerHi := e.ctx.LayerWordRows(wordRows)
+
+	// Assemble the panels at their home ranks. The received coordinates are
+	// in the batch's global (word row, column) space; WordRowRange slices
+	// out this layer's share of the contraction dimension and ColRange
+	// extracts the block's columns, both rebased to local indices.
+	var aPanel, bPanel *bitmat.Packed
+	if e.ctx.Col == 0 {
+		var got entrySlice
+		for _, part := range aIn {
+			got = append(got, part...)
+		}
+		full := bitmat.FromEntries(got, wordRows, e.n, maskBits, activeRows)
+		aPanel = full.WordRowRange(layerLo, layerHi).ColRange(e.rowLo, e.rowHi)
+	}
+	if e.ctx.Row == 0 {
+		var got entrySlice
+		for _, part := range bIn {
+			got = append(got, part...)
+		}
+		full := bitmat.FromEntries(got, wordRows, e.n, maskBits, activeRows)
+		bPanel = full.WordRowRange(layerLo, layerHi).ColRange(e.colLo, e.colHi)
+	}
+
+	// SUMMA-style panel replication: the A panel of grid row s travels along
+	// RowPeers(s, q), the B panel of grid column t along ColPeers(t, q).
+	if e.ctx.Col == 0 {
+		for _, peer := range g.RowPeers(e.ctx.Row, e.ctx.Layer) {
+			if peer != p.Rank() {
+				p.Send(peer, tagAPanel, toWire(aPanel))
+			}
+		}
+	}
+	if e.ctx.Row == 0 {
+		for _, peer := range g.ColPeers(e.ctx.Col, e.ctx.Layer) {
+			if peer != p.Rank() {
+				p.Send(peer, tagBPanel, toWire(bPanel))
+			}
+		}
+	}
+	p.Sync()
+	if e.ctx.Col != 0 {
+		msgs := p.RecvAll(tagAPanel)
+		if len(msgs) != 1 {
+			panic(fmt.Sprintf("dist: rank %d expected 1 A panel, got %d", p.Rank(), len(msgs)))
+		}
+		aPanel = fromWire(msgs[0].Payload.(packedWire))
+	}
+	if e.ctx.Row != 0 {
+		msgs := p.RecvAll(tagBPanel)
+		if len(msgs) != 1 {
+			panic(fmt.Sprintf("dist: rank %d expected 1 B panel, got %d", p.Rank(), len(msgs)))
+		}
+		bPanel = fromWire(msgs[0].Payload.(packedWire))
+	}
+
+	// Local kernel: this rank's block of Â(l)ᵀÂ(l) restricted to the
+	// layer's word rows, accumulated into the per-layer partial of B.
+	partial := bitmat.GramBlock(aPanel, bPanel)
+	for i := 0; i < partial.Rows; i++ {
+		for j := 0; j < partial.Cols; j++ {
+			if v := partial.At(i, j); v != 0 {
+				e.acc.Update(i, j, func(old int64) int64 { return old + v })
+			}
+		}
+	}
+	p.AddFlops(int64(aPanel.NNZWords()) * int64(bPanel.Cols))
+	p.NoteMemory(int64(aPanel.MemoryWords()+bPanel.MemoryWords()) + int64(len(e.acc.Data)))
+}
+
+// Finalize reduces the per-layer partial blocks onto layer 0 (the 3D
+// algorithm's inter-layer sum) and returns this rank's view of the result.
+// counts must be the globally combined per-sample cardinalities â (Eq. 4),
+// identical on every rank. Finalize is a collective; one superstep.
+func (e *GramEngine) Finalize(counts []int64) *Blocks {
+	if len(counts) != e.n {
+		panic(fmt.Sprintf("dist: %d cardinalities for %d samples", len(counts), e.n))
+	}
+	g := e.ctx.Grid
+	p := e.ctx.P
+	if e.ctx.Layer != 0 {
+		p.Send(g.Rank(e.ctx.Row, e.ctx.Col, 0), tagLayerPartial, e.acc.Data)
+	}
+	p.Sync()
+	bl := &Blocks{
+		ctx: e.ctx, n: e.n, counts: counts,
+		rowLo: e.rowLo, rowHi: e.rowHi, colLo: e.colLo, colHi: e.colHi,
+	}
+	if e.ctx.Layer != 0 {
+		return bl
+	}
+	for _, m := range p.RecvAll(tagLayerPartial) {
+		part := m.Payload.([]int64)
+		if len(part) != len(e.acc.Data) {
+			panic(fmt.Sprintf("dist: layer partial size %d, want %d", len(part), len(e.acc.Data)))
+		}
+		for i, v := range part {
+			e.acc.Data[i] += v
+		}
+	}
+	bl.b = e.acc
+	return bl
+}
+
+// Blocks is the block-distributed result of a run: layer-0 rank (s, t)
+// holds the (s, t) block of the intersection matrix B together with the
+// replicated cardinalities, from which it can derive its blocks of S and D
+// without further communication (Eq. 2).
+type Blocks struct {
+	ctx    *Context
+	n      int
+	counts []int64
+
+	rowLo, rowHi, colLo, colHi int
+
+	b *sparse.Dense[int64] // nil on layers > 0
+}
+
+// BBlock returns this rank's block of B (nil on layers > 0) and its row and
+// column offsets in the global matrix.
+func (bl *Blocks) BBlock() (block *sparse.Dense[int64], rowLo, colLo int) {
+	return bl.b, bl.rowLo, bl.colLo
+}
+
+// SBlock derives this rank's block of the similarity matrix S from its B
+// block via the shared Eq. 2 scalar (nil on layers > 0).
+func (bl *Blocks) SBlock() *sparse.Dense[float64] {
+	if bl.b == nil {
+		return nil
+	}
+	out := sparse.NewDense[float64](bl.rowHi-bl.rowLo, bl.colHi-bl.colLo)
+	for i := bl.rowLo; i < bl.rowHi; i++ {
+		for j := bl.colLo; j < bl.colHi; j++ {
+			s := Jaccard(bl.b.At(i-bl.rowLo, j-bl.colLo), bl.counts[i], bl.counts[j])
+			out.Set(i-bl.rowLo, j-bl.colLo, s)
+		}
+	}
+	return out
+}
+
+// DBlock derives this rank's block of the distance matrix D = 1 − S (nil on
+// layers > 0).
+func (bl *Blocks) DBlock() *sparse.Dense[float64] {
+	s := bl.SBlock()
+	if s == nil {
+		return nil
+	}
+	return sparse.Map(s, func(v float64) float64 { return 1 - v })
+}
+
+// blockWire carries one positioned dense block to the gathering root.
+type blockWire[T int64 | float64] struct {
+	RowLo, ColLo, Rows, Cols int
+	Data                     []T
+}
+
+// ByteSize implements bsp.ByteSizer: the payload plus four position words.
+func (w blockWire[T]) ByteSize() int { return 8*len(w.Data) + 32 }
+
+// gatherBlocks assembles positioned blocks into the full n×n matrix at
+// root; every rank must call it (it is a collective), non-root ranks and
+// non-zero layers contribute empty blocks and receive nil.
+func gatherBlocks[T int64 | float64](ctx *Context, n int, root int, block *sparse.Dense[T], rowLo, colLo int) *sparse.Dense[T] {
+	var w blockWire[T]
+	if block != nil {
+		w = blockWire[T]{RowLo: rowLo, ColLo: colLo, Rows: block.Rows, Cols: block.Cols, Data: block.Data}
+	}
+	parts := bsp.Gather(ctx.P, root, w)
+	if ctx.P.Rank() != root {
+		return nil
+	}
+	out := sparse.NewDense[T](n, n)
+	for _, part := range parts {
+		for i := 0; i < part.Rows; i++ {
+			copy(out.Row(part.RowLo + i)[part.ColLo:part.ColLo+part.Cols], part.Data[i*part.Cols:(i+1)*part.Cols])
+		}
+	}
+	return out
+}
+
+// GatherB assembles the full intersection matrix B at root (nil elsewhere).
+// Like all gathers, it must be called by every rank.
+func (bl *Blocks) GatherB(root int) *sparse.Dense[int64] {
+	return gatherBlocks(bl.ctx, bl.n, root, bl.b, bl.rowLo, bl.colLo)
+}
+
+// GatherS assembles the full similarity matrix S at root (nil elsewhere).
+func (bl *Blocks) GatherS(root int) *sparse.Dense[float64] {
+	return gatherBlocks(bl.ctx, bl.n, root, bl.SBlock(), bl.rowLo, bl.colLo)
+}
+
+// GatherD assembles the full distance matrix D at root (nil elsewhere).
+func (bl *Blocks) GatherD(root int) *sparse.Dense[float64] {
+	return gatherBlocks(bl.ctx, bl.n, root, bl.DBlock(), bl.rowLo, bl.colLo)
+}
