@@ -11,9 +11,13 @@ package genomeatscale
 //	go test -bench=. -benchmem ./...
 
 import (
+	"fmt"
+	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"genomeatscale/internal/bitmat"
 	"genomeatscale/internal/core"
@@ -207,13 +211,20 @@ func benchmarkProxy(b *testing.B) *core.InMemoryDataset {
 
 func BenchmarkSequentialPipeline(b *testing.B) {
 	ds := benchmarkProxy(b)
-	opts := core.DefaultOptions()
-	opts.BatchCount = 4
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.ComputeSequential(ds, opts); err != nil {
-			b.Fatal(err)
-		}
+	// workers=1 is the historical serial pipeline; workers=0 uses one
+	// shared-memory worker per CPU for the Gram kernel, per-column packing
+	// and the Eq. 2 finalization.
+	for _, workers := range []int{1, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.BatchCount = 4
+			opts.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ComputeSequential(ds, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -258,39 +269,83 @@ func BenchmarkExactJaccardBaseline(b *testing.B) {
 	}
 }
 
-func BenchmarkPackedGramKernel(b *testing.B) {
-	rng := synth.NewRNG(2)
-	cols := 160
-	rows := 4000
+// kernelProxy builds a random packed batch matrix for the Gram kernel
+// microbenchmarks.
+func kernelProxy(seed uint64, rows, cols, perCol int) *bitmat.Packed {
+	rng := synth.NewRNG(seed)
 	rowsPerCol := make([][]int, cols)
 	for j := range rowsPerCol {
-		count := 200
 		seen := map[int]bool{}
-		for len(rowsPerCol[j]) < count {
+		for len(rowsPerCol[j]) < perCol {
 			r := rng.Intn(rows)
 			if !seen[r] {
 				seen[r] = true
 				rowsPerCol[j] = append(rowsPerCol[j], r)
 			}
 		}
-		insertionSortInts(rowsPerCol[j])
+		sort.Ints(rowsPerCol[j])
 	}
-	packed := bitmat.PackColumns(rowsPerCol, rows, 64)
+	return bitmat.PackColumns(rowsPerCol, rows, 64)
+}
+
+func BenchmarkPackedGramKernel(b *testing.B) {
+	packed := kernelProxy(2, 4000, 160, 200)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		packed.Gram()
 	}
 }
 
-func insertionSortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		v := xs[i]
-		j := i - 1
-		for j >= 0 && xs[j] > v {
-			xs[j+1] = xs[j]
-			j--
+// BenchmarkPackedGramKernelWorkers measures the tiled multi-core kernel at
+// fixed worker counts. Compare the workers=1 and workers=4 sub-benchmark
+// times on a ≥ 4-core runner; BenchmarkGramKernelSpeedupWorkers4 reports
+// the ratio directly.
+func BenchmarkPackedGramKernelWorkers(b *testing.B) {
+	packed := kernelProxy(2, 8000, 256, 400)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			acc := sparse.NewDense[int64](packed.Cols, packed.Cols)
+			for i := 0; i < b.N; i++ {
+				packed.GramAccumulateWorkers(acc, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkGramKernelSpeedupWorkers4 times the serial and the 4-worker
+// kernel back to back on the same input and records the speedup and the
+// CPU count as benchmark metrics, so the multi-core gain (or a
+// single-core runner explaining its absence) is visible in every bench
+// log.
+func BenchmarkGramKernelSpeedupWorkers4(b *testing.B) {
+	packed := kernelProxy(2, 8000, 256, 400)
+	serialAcc := sparse.NewDense[int64](packed.Cols, packed.Cols)
+	parAcc := sparse.NewDense[int64](packed.Cols, packed.Cols)
+	// Warm both kernels (and the packed matrix's cache residency) before
+	// timing, so the single-sample CI smoke run (-benchtime 1x) does not
+	// charge the cold-start cost to whichever variant runs first.
+	packed.GramAccumulateWorkers(serialAcc, 1)
+	packed.GramAccumulateWorkers(parAcc, 4)
+	serialAcc, parAcc = sparse.NewDense[int64](packed.Cols, packed.Cols), sparse.NewDense[int64](packed.Cols, packed.Cols)
+	var serial, parallel time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		packed.GramAccumulateWorkers(serialAcc, 1)
+		serial += time.Since(t0)
+		t1 := time.Now()
+		packed.GramAccumulateWorkers(parAcc, 4)
+		parallel += time.Since(t1)
+	}
+	b.StopTimer()
+	if parallel > 0 {
+		b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup-w4")
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cpus")
+	for k := range serialAcc.Data {
+		if serialAcc.Data[k] != parAcc.Data[k] {
+			b.Fatal("parallel kernel diverged from serial kernel")
 		}
-		xs[j+1] = v
 	}
 }
 

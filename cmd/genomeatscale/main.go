@@ -9,7 +9,7 @@
 //
 // Example:
 //
-//	genomeatscale -k 19 -min-count 1 -procs 8 -batches 4 \
+//	genomeatscale -k 19 -min-count 1 -procs 8 -batches 4 -workers 1 \
 //	    -similarity sim.tsv -distance dist.tsv -newick tree.nwk sample1.fa sample2.fa ...
 package main
 
@@ -43,6 +43,7 @@ func run(args []string, out *os.File) error {
 	batches := fs.Int("batches", 1, "number of row batches of the indicator matrix")
 	maskBits := fs.Int("mask-bits", 64, "bitmask compression width b (1..64)")
 	replication := fs.Int("replication", 1, "processor-grid replication factor c")
+	workers := fs.Int("workers", 0, "shared-memory worker goroutines per process for the Gram kernel, packing and finalization (0 = one per CPU, 1 = serial)")
 	simPath := fs.String("similarity", "", "write the similarity matrix to this TSV file")
 	distPath := fs.String("distance", "", "write the distance matrix to this TSV file")
 	phylipPath := fs.String("phylip", "", "write the distance matrix in PHYLIP format to this file")
@@ -84,6 +85,7 @@ func run(args []string, out *os.File) error {
 		MaskBits:    *maskBits,
 		Procs:       *procs,
 		Replication: *replication,
+		Workers:     *workers,
 	}
 	var res *core.Result
 	if *procs > 1 {

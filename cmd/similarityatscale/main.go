@@ -9,7 +9,7 @@
 //
 // Example:
 //
-//	similarityatscale -m 1000000 -procs 4 -batches 2 -output sim.tsv a.txt b.txt c.txt
+//	similarityatscale -m 1000000 -procs 4 -batches 2 -workers 1 -output sim.tsv a.txt b.txt c.txt
 package main
 
 import (
@@ -38,6 +38,7 @@ func run(args []string, out *os.File) error {
 	batches := fs.Int("batches", 1, "number of row batches")
 	maskBits := fs.Int("mask-bits", 64, "bitmask compression width b")
 	replication := fs.Int("replication", 1, "processor-grid replication factor c")
+	workers := fs.Int("workers", 0, "shared-memory worker goroutines per process for the Gram kernel, packing and finalization (0 = one per CPU, 1 = serial)")
 	output := fs.String("output", "", "write the similarity matrix to this TSV file (default: print)")
 	distance := fs.Bool("distance", false, "report Jaccard distances (1 − J) instead of similarities")
 	if err := fs.Parse(args); err != nil {
@@ -73,7 +74,7 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 
-	opts := core.Options{BatchCount: *batches, MaskBits: *maskBits, Procs: *procs, Replication: *replication}
+	opts := core.Options{BatchCount: *batches, MaskBits: *maskBits, Procs: *procs, Replication: *replication, Workers: *workers}
 	var res *core.Result
 	if *procs > 1 {
 		res, err = core.Compute(ds, opts)

@@ -25,7 +25,7 @@ type Dataset = core.Dataset
 type InMemoryDataset = core.InMemoryDataset
 
 // Options configures a SimilarityAtScale run (batch count, bitmask width,
-// virtual rank count, replication factor).
+// virtual rank count, replication factor, shared-memory worker count).
 type Options = core.Options
 
 // Result holds the similarity matrix S, distance matrix D = 1 − S,

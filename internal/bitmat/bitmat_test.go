@@ -2,6 +2,7 @@ package bitmat
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -315,7 +316,7 @@ func TestColPopcountsEqualCardinalityProperty(t *testing.T) {
 				rows = append(rows, v)
 			}
 		}
-		insertionSort(rows)
+		sort.Ints(rows)
 		p := PackColumns([][]int{rows}, 1000, 64)
 		return p.ColPopcounts()[0] == int64(len(rows))
 	}

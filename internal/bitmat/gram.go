@@ -2,8 +2,10 @@ package bitmat
 
 import (
 	"fmt"
+	"sort"
 
 	"genomeatscale/internal/bitutil"
+	"genomeatscale/internal/par"
 	"genomeatscale/internal/sparse"
 )
 
@@ -18,11 +20,81 @@ func (p *Packed) Gram() *sparse.Dense[int64] {
 }
 
 // GramAccumulate adds this batch's Gram contribution into an existing dense
-// accumulator, implementing the per-batch accumulation of Eq. 4.
+// accumulator, implementing the per-batch accumulation of Eq. 4, on the
+// serial path.
 func (p *Packed) GramAccumulate(into *sparse.Dense[int64]) {
+	p.GramAccumulateWorkers(into, 1)
+}
+
+// GramAccumulateWorkers is GramAccumulate evaluated on a shared-memory
+// worker pool. workers follows the par convention: 0 resolves to
+// runtime.GOMAXPROCS(0), 1 runs the exact serial loop, n > 1 tiles the
+// upper-triangular column-pair space into square output blocks and hands
+// the tiles to n goroutines. Each tile accumulates into a private dense
+// slab and then flushes it into `into` with direct indexed writes; because
+// only tiles on or above the diagonal exist and each mirrors its own block,
+// the flushed regions are pairwise disjoint, so the writes are race-free
+// and the result is bit-identical to the serial path for every workers
+// value (int64 addition is associative and each cell is computed once).
+func (p *Packed) GramAccumulateWorkers(into *sparse.Dense[int64], workers int) {
 	if into.Rows != p.Cols || into.Cols != p.Cols {
 		panic(fmt.Sprintf("bitmat: Gram accumulator shape %dx%d, want %dx%d", into.Rows, into.Cols, p.Cols, p.Cols))
 	}
+	workers = par.Resolve(workers)
+	if workers <= 1 || p.Cols < 2 {
+		p.gramAccumulateSerial(into)
+		return
+	}
+	edge := tileEdge(workers, func(e int) int {
+		nt := (p.Cols + e - 1) / e
+		return nt * (nt + 1) / 2
+	})
+	var tiles []tileSpec
+	for i0 := 0; i0 < p.Cols; i0 += edge {
+		i1 := min(i0+edge, p.Cols)
+		for j0 := i0; j0 < p.Cols; j0 += edge {
+			tiles = append(tiles, tileSpec{i0, i1, j0, min(j0+edge, p.Cols)})
+		}
+	}
+	stride := into.Cols
+	par.ForEach(workers, len(tiles), func(k int) {
+		t := tiles[k]
+		tw := t.j1 - t.j0
+		slab := make([]int64, (t.i1-t.i0)*tw)
+		for i := t.i0; i < t.i1; i++ {
+			wi, vi := p.Col(i)
+			if len(wi) == 0 {
+				continue
+			}
+			row := slab[(i-t.i0)*tw:]
+			for j := max(t.j0, i); j < t.j1; j++ {
+				wj, vj := p.Col(j)
+				if len(wj) == 0 {
+					continue
+				}
+				row[j-t.j0] = int64(mergePopcount(wi, vi, wj, vj))
+			}
+		}
+		for i := t.i0; i < t.i1; i++ {
+			row := slab[(i-t.i0)*tw:]
+			for j := t.j0; j < t.j1; j++ {
+				c := row[j-t.j0]
+				if c == 0 {
+					continue
+				}
+				into.Data[i*stride+j] += c
+				if i != j {
+					into.Data[j*stride+i] += c
+				}
+			}
+		}
+	})
+}
+
+// gramAccumulateSerial is the historical single-threaded kernel, with the
+// per-cell closure accumulation replaced by direct slice indexing.
+func (p *Packed) gramAccumulateSerial(into *sparse.Dense[int64]) {
+	stride := into.Cols
 	for i := 0; i < p.Cols; i++ {
 		wi, vi := p.Col(i)
 		if len(wi) == 0 {
@@ -37,12 +109,29 @@ func (p *Packed) GramAccumulate(into *sparse.Dense[int64]) {
 			if c == 0 {
 				continue
 			}
-			into.Update(i, j, func(v int64) int64 { return v + c })
+			into.Data[i*stride+j] += c
 			if i != j {
-				into.Update(j, i, func(v int64) int64 { return v + c })
+				into.Data[j*stride+i] += c
 			}
 		}
 	}
+}
+
+// tileSpec is one output tile: rows [i0, i1) × cols [j0, j1).
+type tileSpec struct {
+	i0, i1, j0, j1 int
+}
+
+// tileEdge picks the edge length of the square output tiles: start from a
+// cache-friendly 64×64 block and halve until the pool has at least four
+// tiles per worker to balance (or the edge reaches its floor). count maps
+// a candidate edge to the number of tiles it induces.
+func tileEdge(workers int, count func(edge int) int) int {
+	edge := 64
+	for edge > 8 && count(edge) < 4*workers {
+		edge /= 2
+	}
+	return edge
 }
 
 // GramBlock computes the Cols(a)×Cols(b) block of the Gram product between
@@ -51,24 +140,58 @@ func (p *Packed) GramAccumulate(into *sparse.Dense[int64]) {
 // distributed SUMMA product in internal/dist, where processor (s, t) of a 2D
 // grid multiplies its row-panel copies of column blocks s and t.
 func GramBlock(a, b *Packed) *sparse.Dense[int64] {
+	return GramBlockWorkers(a, b, 1)
+}
+
+// GramBlockWorkers is GramBlock evaluated on a shared-memory worker pool
+// (same workers convention as GramAccumulateWorkers). The rectangular
+// output is tiled into square blocks; tiles write disjoint regions of the
+// fresh result matrix, so no synchronisation beyond the pool join is
+// needed and the result is identical for every workers value.
+func GramBlockWorkers(a, b *Packed, workers int) *sparse.Dense[int64] {
 	if a.WordRows != b.WordRows || a.B != b.B {
 		panic(fmt.Sprintf("bitmat: GramBlock row-space mismatch (%d,%d) vs (%d,%d)", a.WordRows, a.B, b.WordRows, b.B))
 	}
 	out := sparse.NewDense[int64](a.Cols, b.Cols)
-	for i := 0; i < a.Cols; i++ {
+	workers = par.Resolve(workers)
+	if workers <= 1 || a.Cols == 0 || b.Cols == 0 {
+		gramBlockInto(a, b, out, tileSpec{0, a.Cols, 0, b.Cols})
+		return out
+	}
+	edge := tileEdge(workers, func(e int) int {
+		return ((a.Cols + e - 1) / e) * ((b.Cols + e - 1) / e)
+	})
+	var tiles []tileSpec
+	for i0 := 0; i0 < a.Cols; i0 += edge {
+		i1 := min(i0+edge, a.Cols)
+		for j0 := 0; j0 < b.Cols; j0 += edge {
+			tiles = append(tiles, tileSpec{i0, i1, j0, min(j0+edge, b.Cols)})
+		}
+	}
+	par.ForEach(workers, len(tiles), func(k int) {
+		gramBlockInto(a, b, out, tiles[k])
+	})
+	return out
+}
+
+// gramBlockInto fills one output tile of the a×b Gram block with direct
+// indexed writes.
+func gramBlockInto(a, b *Packed, out *sparse.Dense[int64], t tileSpec) {
+	stride := out.Cols
+	for i := t.i0; i < t.i1; i++ {
 		wi, vi := a.Col(i)
 		if len(wi) == 0 {
 			continue
 		}
-		for j := 0; j < b.Cols; j++ {
+		row := out.Data[i*stride : (i+1)*stride]
+		for j := t.j0; j < t.j1; j++ {
 			wj, vj := b.Col(j)
 			if len(wj) == 0 {
 				continue
 			}
-			out.Set(i, j, int64(mergePopcount(wi, vi, wj, vj)))
+			row[j] = int64(mergePopcount(wi, vi, wj, vj))
 		}
 	}
-	return out
 }
 
 // mergePopcount merges two sorted (wordRow, word) streams and accumulates
@@ -232,7 +355,7 @@ func FromEntries(entries []PackedEntry, wordRows, cols, b, activeRows int) *Pack
 		for k := range m {
 			keys = append(keys, k)
 		}
-		insertionSort(keys)
+		sort.Ints(keys)
 		for _, k := range keys {
 			out.wordRow = append(out.wordRow, k)
 			out.words = append(out.words, m[k])
@@ -240,16 +363,4 @@ func FromEntries(entries []PackedEntry, wordRows, cols, b, activeRows int) *Pack
 		out.colPtr[j+1] = len(out.words)
 	}
 	return out
-}
-
-func insertionSort(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		v := xs[i]
-		j := i - 1
-		for j >= 0 && xs[j] > v {
-			xs[j+1] = xs[j]
-			j--
-		}
-		xs[j+1] = v
-	}
 }

@@ -6,6 +6,7 @@ import (
 	"genomeatscale/internal/bitmat"
 	"genomeatscale/internal/bitutil"
 	"genomeatscale/internal/dist"
+	"genomeatscale/internal/par"
 )
 
 // This file is the batch stage shared by both execution modes. For every
@@ -69,29 +70,64 @@ func sliceBatch(ds Dataset, cols []int, lo, hi uint64) ([]batchColumn, []int64) 
 // row list (Eq. 6) and packs them into MaskBits-wide words, emitting the
 // packed matrix Â(l) in coordinate form. nonzero must contain every row
 // present in columns (guaranteed when it came from the same writes).
-func packBatch(columns []batchColumn, nonzero []int64, lo uint64, maskBits int) ([]bitmat.PackedEntry, error) {
-	var entries []bitmat.PackedEntry
-	for _, cr := range columns {
-		prevWord := -1
-		var cur uint64
-		for _, v := range cr.vals {
-			ci := dist.CompactIndex(nonzero, int64(v-lo))
-			if ci < 0 {
-				return nil, fmt.Errorf("core: row %d missing from filter", v-lo)
+// Columns are independent, so with workers > 1 they are packed on the
+// shared worker pool and the per-column slices concatenated in column
+// order — the emitted coordinate sequence is identical for every workers
+// value; with one worker the columns append into a single slice with no
+// intermediate allocation, exactly the historical serial path.
+func packBatch(columns []batchColumn, nonzero []int64, lo uint64, maskBits, workers int) ([]bitmat.PackedEntry, error) {
+	if par.Resolve(workers) <= 1 || len(columns) <= 1 {
+		var entries []bitmat.PackedEntry
+		var err error
+		for _, cr := range columns {
+			if entries, err = packColumnInto(entries, cr, nonzero, lo, maskBits); err != nil {
+				return nil, err
 			}
-			w := ci / maskBits
-			if w != prevWord {
-				if prevWord >= 0 {
-					entries = append(entries, bitmat.PackedEntry{WordRow: prevWord, Col: cr.col, Word: cur})
-				}
-				prevWord = w
-				cur = 0
+		}
+		return entries, nil
+	}
+	perCol := make([][]bitmat.PackedEntry, len(columns))
+	errs := make([]error, len(columns))
+	par.ForEach(workers, len(columns), func(k int) {
+		perCol[k], errs[k] = packColumnInto(nil, columns[k], nonzero, lo, maskBits)
+	})
+	total := 0
+	for k := range columns {
+		if errs[k] != nil {
+			return nil, errs[k]
+		}
+		total += len(perCol[k])
+	}
+	entries := make([]bitmat.PackedEntry, 0, total)
+	for _, part := range perCol {
+		entries = append(entries, part...)
+	}
+	return entries, nil
+}
+
+// packColumnInto packs one column's batch rows into MaskBits-wide
+// coordinate words appended to entries (the per-column unit of work of
+// packBatch).
+func packColumnInto(entries []bitmat.PackedEntry, cr batchColumn, nonzero []int64, lo uint64, maskBits int) ([]bitmat.PackedEntry, error) {
+	prevWord := -1
+	var cur uint64
+	for _, v := range cr.vals {
+		ci := dist.CompactIndex(nonzero, int64(v-lo))
+		if ci < 0 {
+			return nil, fmt.Errorf("core: row %d missing from filter", v-lo)
+		}
+		w := ci / maskBits
+		if w != prevWord {
+			if prevWord >= 0 {
+				entries = append(entries, bitmat.PackedEntry{WordRow: prevWord, Col: cr.col, Word: cur})
 			}
-			cur |= 1 << uint(ci%maskBits)
+			prevWord = w
+			cur = 0
 		}
-		if prevWord >= 0 {
-			entries = append(entries, bitmat.PackedEntry{WordRow: prevWord, Col: cr.col, Word: cur})
-		}
+		cur |= 1 << uint(ci%maskBits)
+	}
+	if prevWord >= 0 {
+		entries = append(entries, bitmat.PackedEntry{WordRow: prevWord, Col: cr.col, Word: cur})
 	}
 	return entries, nil
 }

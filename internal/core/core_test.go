@@ -167,6 +167,7 @@ func TestOptionsValidate(t *testing.T) {
 		{BatchCount: 1, MaskBits: 65, Procs: 1, Replication: 1},
 		{BatchCount: 1, MaskBits: 64, Procs: 0, Replication: 1},
 		{BatchCount: 1, MaskBits: 64, Procs: 1, Replication: 0},
+		{BatchCount: 1, MaskBits: 64, Procs: 1, Replication: 1, Workers: -1},
 	}
 	for i, o := range bad {
 		if err := o.Validate(); err == nil {

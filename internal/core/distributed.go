@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"genomeatscale/internal/bsp"
@@ -41,9 +42,20 @@ func Compute(ds Dataset, opts Options) (*Result, error) {
 	res := &Result{N: n, Names: sampleNames(ds)}
 	res.Stats.IndicatorNonzeros = TotalNonzeros(ds)
 
+	// All Procs virtual ranks share this machine, so the default Workers: 0
+	// resolves to a fair share of the CPUs per rank rather than a full
+	// GOMAXPROCS pool per rank (which would oversubscribe the machine
+	// Procs-fold). An explicit Workers value is taken as given.
+	workers := opts.Workers
+	if workers == 0 {
+		if workers = runtime.GOMAXPROCS(0) / opts.Procs; workers < 1 {
+			workers = 1
+		}
+	}
+
 	commStats, err := bsp.Run(opts.Procs, func(p *bsp.Proc) error {
 		ctx := dist.NewContext(p, opts.Replication)
-		engine := dist.NewGramEngine(ctx, n)
+		engine := dist.NewGramEngine(ctx, n, workers)
 
 		owned := ctx.OwnedSamples(n)
 		localCounts := make([]int64, n)
@@ -67,7 +79,7 @@ func Compute(ds Dataset, opts Options) (*Result, error) {
 			nonzero := filter.Replicate()
 			active := len(nonzero)
 
-			entries, err := packBatch(columns, nonzero, lo, opts.MaskBits)
+			entries, err := packBatch(columns, nonzero, lo, opts.MaskBits, workers)
 			if err != nil {
 				return fmt.Errorf("batch %d: %w", l, err)
 			}

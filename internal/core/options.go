@@ -29,6 +29,19 @@ type Options struct {
 	// √(p/c) × √(p/c) × c layout (Section III-C).
 	Replication int
 
+	// Workers is the number of shared-memory worker goroutines used inside
+	// one process by the tiled Gram kernel, the per-column batch packing and
+	// the Eq. 2 finalization (sequential finalize and the blockwise SBlock/
+	// DBlock derivation alike). 1 selects the exact serial kernel; n > 1
+	// uses n workers; results are identical for every value. 0 (the
+	// default) sizes the pool automatically: the sequential path uses
+	// runtime.GOMAXPROCS(0) — one worker per available CPU — while the
+	// distributed path gives each of the Procs in-process virtual ranks a
+	// fair share, max(1, GOMAXPROCS/Procs), so the default never
+	// oversubscribes the machine. An explicit value is taken as given on
+	// both paths.
+	Workers int
+
 	// SkipGather, when true, leaves the similarity matrix distributed and
 	// does not assemble a full copy at rank 0. Use for large n where only
 	// timing/communication statistics are of interest.
@@ -36,9 +49,10 @@ type Options struct {
 }
 
 // DefaultOptions returns options matching the paper's defaults: 64-bit
-// masks, a single batch, one process, no replication.
+// masks, a single batch, one process, no replication, and shared-memory
+// workers on every available CPU (Workers: 0).
 func DefaultOptions() Options {
-	return Options{BatchCount: 1, MaskBits: 64, Procs: 1, Replication: 1}
+	return Options{BatchCount: 1, MaskBits: 64, Procs: 1, Replication: 1, Workers: 0}
 }
 
 // Validate checks option consistency.
@@ -54,6 +68,9 @@ func (o Options) Validate() error {
 	}
 	if o.Replication <= 0 {
 		return fmt.Errorf("core: Replication must be positive, got %d", o.Replication)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: Workers must be non-negative (0 = all CPUs), got %d", o.Workers)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"genomeatscale/internal/bitmat"
 	"genomeatscale/internal/dist"
+	"genomeatscale/internal/par"
 	"genomeatscale/internal/sparse"
 )
 
@@ -25,6 +26,7 @@ func ComputeSequential(ds Dataset, opts Options) (*Result, error) {
 	start := time.Now()
 	n := ds.NumSamples()
 	m := ds.NumAttributes()
+	workers := par.Resolve(opts.Workers)
 
 	res := &Result{
 		N:             n,
@@ -50,41 +52,47 @@ func ComputeSequential(ds Dataset, opts Options) (*Result, error) {
 		columns, localRows := sliceBatch(ds, allCols, lo, hi)
 		nonzero := dist.Compact(localRows)
 		active := len(nonzero)
-		entries, err := packBatch(columns, nonzero, lo, opts.MaskBits)
+		entries, err := packBatch(columns, nonzero, lo, opts.MaskBits, workers)
 		if err != nil {
 			return nil, err
 		}
 		packed := bitmat.FromEntries(entries, wordRowsFor(active, opts.MaskBits), n, opts.MaskBits, active)
-		packed.GramAccumulate(b)
+		packed.GramAccumulateWorkers(b, workers)
 
 		res.Stats.Batches++
 		res.Stats.BatchSeconds = append(res.Stats.BatchSeconds, time.Since(batchStart).Seconds())
 		res.Stats.ActiveRowsPerBatch = append(res.Stats.ActiveRowsPerBatch, int64(active))
 	}
 
-	finalize(res, b, opts)
+	finalize(res, b, opts.SkipGather, workers)
 	res.Stats.TotalSeconds = time.Since(start).Seconds()
 	return res, nil
 }
 
 // finalize derives S and D from B and the per-sample cardinalities through
 // the shared Eq. 2 scalar, matching the blockwise derivation the
-// distributed path performs in dist.Blocks.
-func finalize(res *Result, b *sparse.Dense[int64], opts Options) {
-	if opts.SkipGather {
+// distributed path performs in dist.Blocks. The O(n²) elementwise
+// derivation is row-parallel on the worker pool: each row of S and D is
+// owned by exactly one index, so the writes are disjoint and the result is
+// identical for every workers value.
+func finalize(res *Result, b *sparse.Dense[int64], skipGather bool, workers int) {
+	if skipGather {
 		return
 	}
 	n := res.N
 	res.B = b
 	res.S = sparse.NewDense[float64](n, n)
 	res.D = sparse.NewDense[float64](n, n)
-	for i := 0; i < n; i++ {
+	par.ForEach(workers, n, func(i int) {
+		brow := b.Row(i)
+		srow := res.S.Row(i)
+		drow := res.D.Row(i)
 		for j := 0; j < n; j++ {
-			s := dist.Jaccard(b.At(i, j), res.Cardinalities[i], res.Cardinalities[j])
-			res.S.Set(i, j, s)
-			res.D.Set(i, j, 1-s)
+			s := dist.Jaccard(brow[j], res.Cardinalities[i], res.Cardinalities[j])
+			srow[j] = s
+			drow[j] = 1 - s
 		}
-	}
+	})
 }
 
 func sampleNames(ds Dataset) []string {

@@ -192,7 +192,9 @@ func TestGramEngineMatchesLocalGram(t *testing.T) {
 			var gotS *sparse.Dense[float64]
 			stats, err := bsp.Run(cfg.procs, func(p *bsp.Proc) error {
 				ctx := NewContext(p, cfg.repl)
-				engine := NewGramEngine(ctx, cfg.cols)
+				// workers: 2 exercises the tiled parallel local kernel under
+				// every grid shape; results must be identical to serial.
+				engine := NewGramEngine(ctx, cfg.cols, 2)
 				var mine []bitmat.PackedEntry
 				for _, e := range all {
 					if e.Col%cfg.procs == p.Rank() {
@@ -253,7 +255,8 @@ func TestGramEngineAccumulatesBatches(t *testing.T) {
 	var got *sparse.Dense[int64]
 	_, err := bsp.Run(4, func(p *bsp.Proc) error {
 		ctx := NewContext(p, 2)
-		engine := NewGramEngine(ctx, cols)
+		engine := NewGramEngine(ctx, cols, 0) // 0 = all CPUs
+
 		for _, batch := range []*bitmat.Packed{a, b} {
 			var mine []bitmat.PackedEntry
 			for _, e := range batch.Entries() {
@@ -285,7 +288,7 @@ func TestGramEngineEmptyBatch(t *testing.T) {
 		var got *sparse.Dense[int64]
 		_, err := bsp.Run(procs, func(p *bsp.Proc) error {
 			ctx := NewContext(p, 2)
-			engine := NewGramEngine(ctx, 5)
+			engine := NewGramEngine(ctx, 5, 1)
 			engine.AddBatch(nil, 0, 64, 0)
 			blocks := engine.Finalize(make([]int64, 5))
 			res := blocks.GatherB(0)

@@ -6,6 +6,7 @@ import (
 	"genomeatscale/internal/bitmat"
 	"genomeatscale/internal/bsp"
 	"genomeatscale/internal/grid"
+	"genomeatscale/internal/par"
 	"genomeatscale/internal/sparse"
 )
 
@@ -60,8 +61,9 @@ func fromWire(w packedWire) *bitmat.Packed {
 // LayerWordRows of every batch's contraction dimension; Finalize sums the
 // per-layer partial blocks (the 3D algorithm's inter-layer reduction).
 type GramEngine struct {
-	ctx *Context
-	n   int
+	ctx     *Context
+	n       int
+	workers int // shared-memory workers for the local popcount kernel
 
 	rowLo, rowHi int // B rows owned by this rank's grid row
 	colLo, colHi int // B cols owned by this rank's grid column
@@ -69,9 +71,13 @@ type GramEngine struct {
 	acc *sparse.Dense[int64] // this layer's partial block of B
 }
 
-// NewGramEngine prepares a per-rank engine for an n-sample run.
-func NewGramEngine(ctx *Context, n int) *GramEngine {
-	e := &GramEngine{ctx: ctx, n: n}
+// NewGramEngine prepares a per-rank engine for an n-sample run. workers is
+// the shared-memory worker count for this rank's local Gram kernel
+// (par.Resolve semantics: 0 = one per CPU, 1 = serial); since every rank of
+// an in-process run spawns its own pool, runs with many virtual ranks
+// typically pass 1.
+func NewGramEngine(ctx *Context, n, workers int) *GramEngine {
+	e := &GramEngine{ctx: ctx, n: n, workers: par.Resolve(workers)}
 	e.rowLo, e.rowHi = ctx.RowBlock(n)
 	e.colLo, e.colHi = ctx.ColBlock(n)
 	e.acc = sparse.NewDense[int64](e.rowHi-e.rowLo, e.colHi-e.colLo)
@@ -173,14 +179,13 @@ func (e *GramEngine) AddBatch(entries []bitmat.PackedEntry, wordRows, maskBits, 
 	}
 
 	// Local kernel: this rank's block of Â(l)ᵀÂ(l) restricted to the
-	// layer's word rows, accumulated into the per-layer partial of B.
-	partial := bitmat.GramBlock(aPanel, bPanel)
-	for i := 0; i < partial.Rows; i++ {
-		for j := 0; j < partial.Cols; j++ {
-			if v := partial.At(i, j); v != 0 {
-				e.acc.Update(i, j, func(old int64) int64 { return old + v })
-			}
-		}
+	// layer's word rows, computed on this rank's worker pool and
+	// accumulated into the per-layer partial of B. partial and acc share
+	// the (rowHi-rowLo)×(colHi-colLo) block shape, so the accumulation is a
+	// flat indexed sum.
+	partial := bitmat.GramBlockWorkers(aPanel, bPanel, e.workers)
+	for idx, v := range partial.Data {
+		e.acc.Data[idx] += v
 	}
 	p.AddFlops(int64(aPanel.NNZWords()) * int64(bPanel.Cols))
 	p.NoteMemory(int64(aPanel.MemoryWords()+bPanel.MemoryWords()) + int64(len(e.acc.Data)))
@@ -201,7 +206,7 @@ func (e *GramEngine) Finalize(counts []int64) *Blocks {
 	}
 	p.Sync()
 	bl := &Blocks{
-		ctx: e.ctx, n: e.n, counts: counts,
+		ctx: e.ctx, n: e.n, counts: counts, workers: e.workers,
 		rowLo: e.rowLo, rowHi: e.rowHi, colLo: e.colLo, colHi: e.colHi,
 	}
 	if e.ctx.Layer != 0 {
@@ -225,9 +230,10 @@ func (e *GramEngine) Finalize(counts []int64) *Blocks {
 // replicated cardinalities, from which it can derive its blocks of S and D
 // without further communication (Eq. 2).
 type Blocks struct {
-	ctx    *Context
-	n      int
-	counts []int64
+	ctx     *Context
+	n       int
+	counts  []int64
+	workers int // shared-memory workers for the blockwise Eq. 2 derivation
 
 	rowLo, rowHi, colLo, colHi int
 
@@ -241,18 +247,21 @@ func (bl *Blocks) BBlock() (block *sparse.Dense[int64], rowLo, colLo int) {
 }
 
 // SBlock derives this rank's block of the similarity matrix S from its B
-// block via the shared Eq. 2 scalar (nil on layers > 0).
+// block via the shared Eq. 2 scalar (nil on layers > 0). The derivation is
+// row-parallel on the rank's worker pool: each output row is owned by one
+// index, so the writes are disjoint.
 func (bl *Blocks) SBlock() *sparse.Dense[float64] {
 	if bl.b == nil {
 		return nil
 	}
 	out := sparse.NewDense[float64](bl.rowHi-bl.rowLo, bl.colHi-bl.colLo)
-	for i := bl.rowLo; i < bl.rowHi; i++ {
+	par.ForEach(bl.workers, bl.rowHi-bl.rowLo, func(i int) {
+		brow := bl.b.Row(i)
+		srow := out.Row(i)
 		for j := bl.colLo; j < bl.colHi; j++ {
-			s := Jaccard(bl.b.At(i-bl.rowLo, j-bl.colLo), bl.counts[i], bl.counts[j])
-			out.Set(i-bl.rowLo, j-bl.colLo, s)
+			srow[j-bl.colLo] = Jaccard(brow[j-bl.colLo], bl.counts[bl.rowLo+i], bl.counts[j])
 		}
-	}
+	})
 	return out
 }
 

@@ -1,0 +1,88 @@
+// Package par is the shared-memory parallelism substrate of the pipeline:
+// a tiny deterministic worker pool used by the tiled Gram kernels in
+// internal/bitmat and the per-column packing and Eq. 2 finalization in
+// internal/core. It deliberately has no dependencies so every layer of the
+// system (bitmat, core, dist, the CLIs) can share one Workers convention:
+// 0 means "one worker per available CPU" (runtime.GOMAXPROCS(0)), 1 means
+// the exact serial path, n > 1 means n concurrent workers.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a Workers option value to a concrete worker count: values
+// below 1 (the Options zero value and the documented "use all cores"
+// setting) resolve to runtime.GOMAXPROCS(0); anything else is returned
+// unchanged.
+func Resolve(workers int) int {
+	if workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most `workers`
+// concurrent goroutines. With workers <= 1 it degenerates to the plain
+// serial loop in index order — callers rely on this to keep Workers: 1
+// bit-for-bit identical to the historical single-threaded code. With
+// workers > 1 indices are handed out dynamically (an atomic counter), so
+// unevenly sized work items balance across the pool; fn must therefore be
+// safe to call concurrently and must write only to locations owned by its
+// index. ForEach returns once every index has been processed.
+//
+// A panic in fn is recovered on the worker that hit it, the pool drains
+// (remaining indices are skipped), and the first panic value is re-raised
+// on the calling goroutine — so a panicking parallel kernel is observable
+// exactly like a panicking serial one and stays recoverable by callers'
+// deferred recovers (e.g. the per-rank recover in internal/bsp that turns
+// kernel panics into Compute errors).
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var aborted atomic.Bool
+	var panicOnce sync.Once
+	var panicVal any
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	body := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicOnce.Do(func() { panicVal = r })
+				aborted.Store(true)
+			}
+		}()
+		for !aborted.Load() {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	for w := 1; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			body()
+		}()
+	}
+	body() // the calling goroutine is the pool's first worker
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}

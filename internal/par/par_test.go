@@ -1,0 +1,88 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	cases := []struct{ in, want int }{
+		{0, max},
+		{-3, max},
+		{1, 1},
+		{2, 2},
+		{17, 17},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.in); got != c.want {
+			t.Errorf("Resolve(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			hits := make([]int32, n)
+			ForEach(workers, n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachSerialPreservesOrder(t *testing.T) {
+	var got []int
+	ForEach(1, 5, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial ForEach visited %v, want ascending order", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("serial ForEach visited %d indices, want 5", len(got))
+	}
+}
+
+func TestForEachPanicPropagatesToCaller(t *testing.T) {
+	// A panic in fn — serial or pooled — must surface on the calling
+	// goroutine where deferred recovers (like bsp.Run's per-rank recover)
+	// can convert it into an error, instead of crashing the process.
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Errorf("workers=%d: recovered %v, want \"boom\"", workers, r)
+				}
+			}()
+			ForEach(workers, 100, func(i int) {
+				if i == 37 {
+					panic("boom")
+				}
+			})
+			t.Errorf("workers=%d: ForEach returned instead of panicking", workers)
+		}()
+	}
+}
+
+func TestForEachDisjointWrites(t *testing.T) {
+	// The documented contract: each index owns its output slot, so a
+	// parallel fill must equal the serial fill. Run under -race in CI.
+	const n = 512
+	serial := make([]int, n)
+	ForEach(1, n, func(i int) { serial[i] = i * i })
+	parallel := make([]int, n)
+	ForEach(4, n, func(i int) { parallel[i] = i * i })
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("parallel fill differs at %d", i)
+		}
+	}
+}
