@@ -1,0 +1,17 @@
+.PHONY: build test race bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# bench writes kernel-level benchmark results (density sweep × storage
+# policy × workers, ns/op and speedup-vs-serial-sparse) to
+# BENCH_kernels.json; CI uploads the file as an artifact. Drop -quick for
+# the full sweep on a quiet machine.
+bench:
+	go run ./cmd/benchkernels -quick -out BENCH_kernels.json

@@ -349,6 +349,81 @@ func BenchmarkGramKernelSpeedupWorkers4(b *testing.B) {
 	}
 }
 
+// kernelProxyOccupancy builds a packed matrix whose columns each store
+// roughly `occupancy` of the word rows (the quantity the dense threshold
+// and the kernel dispatch act on — at b=64 even 2% row occupancy fills
+// ~70% of the word rows, so the sweep controls word occupancy directly),
+// with the given dense-threshold spec. cmd/benchkernels sweeps the same
+// synth.WordOccupancyRows fixture, so its JSON artifact and these
+// benchmarks stay comparable.
+func kernelProxyOccupancy(seed uint64, rows, cols int, occupancy float64, threshold int) *bitmat.Packed {
+	rowsPerCol := synth.WordOccupancyRows(synth.NewRNG(seed), rows, cols, occupancy)
+	return bitmat.PackColumnsThreshold(rowsPerCol, rows, 64, threshold)
+}
+
+// BenchmarkHybridGramDensitySweep measures the full Gram kernel across a
+// column-occupancy sweep under the three storage policies: sparse-only
+// (merge kernel everywhere), the auto hybrid default, and forced-dense
+// (contiguous AND+popcount everywhere). Compare sub-benchmark times at a
+// fixed occupancy to see the kernel dispatch payoff; `cmd/benchkernels`
+// writes the same sweep as a JSON artifact.
+func BenchmarkHybridGramDensitySweep(b *testing.B) {
+	modes := []struct {
+		name      string
+		threshold int
+	}{
+		{"sparse", bitmat.DenseNever},
+		{"auto", bitmat.DenseAuto},
+		{"dense", 1},
+	}
+	for _, occ := range []float64{0.02, 0.1, 0.25, 0.5, 0.9} {
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("occ=%g/%s", occ, mode.name), func(b *testing.B) {
+				packed := kernelProxyOccupancy(11, 16384, 128, occ, mode.threshold)
+				acc := sparse.NewDense[int64](packed.Cols, packed.Cols)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					packed.GramAccumulateWorkers(acc, 1)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDenseKernelSpeedup90 times the sparse merge kernel and the
+// dense contiguous kernel back to back on the same ≥90%-occupancy columns
+// and reports the ratio — the acceptance metric of the hybrid layout (the
+// dense×dense kernel must be ≥2× the merge kernel on dense data).
+func BenchmarkDenseKernelSpeedup90(b *testing.B) {
+	sparsePacked := kernelProxyOccupancy(12, 16384, 128, 0.9, bitmat.DenseNever)
+	densePacked := kernelProxyOccupancy(12, 16384, 128, 0.9, 1)
+	sparseAcc := sparse.NewDense[int64](sparsePacked.Cols, sparsePacked.Cols)
+	denseAcc := sparse.NewDense[int64](densePacked.Cols, densePacked.Cols)
+	// Warm both kernels so the single-sample CI smoke run does not charge
+	// cold-start costs to whichever variant runs first.
+	sparsePacked.GramAccumulateWorkers(sparseAcc, 1)
+	densePacked.GramAccumulateWorkers(denseAcc, 1)
+	for k := range sparseAcc.Data {
+		if sparseAcc.Data[k] != denseAcc.Data[k] {
+			b.Fatal("dense kernel diverged from sparse kernel")
+		}
+	}
+	var sparseT, denseT time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		sparsePacked.GramAccumulateWorkers(sparseAcc, 1)
+		sparseT += time.Since(t0)
+		t1 := time.Now()
+		densePacked.GramAccumulateWorkers(denseAcc, 1)
+		denseT += time.Since(t1)
+	}
+	b.StopTimer()
+	if denseT > 0 {
+		b.ReportMetric(sparseT.Seconds()/denseT.Seconds(), "speedup-dense")
+	}
+}
+
 func BenchmarkUncompressedGramReference(b *testing.B) {
 	rng := synth.NewRNG(2)
 	coo := sparse.NewCOO[int64](4000, 160)

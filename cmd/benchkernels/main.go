@@ -1,0 +1,167 @@
+// Command benchkernels measures the hybrid popcount Gram kernels at the
+// kernel level — a column word-occupancy sweep × storage policy (sparse
+// merge, auto hybrid, forced dense) × worker count — and writes the
+// results as a JSON artifact. `make bench` runs it and CI uploads the
+// artifact, seeding the repository's benchmark trajectory with the numbers
+// the paper's Section V reasons about (time per Gram product and the
+// dense-kernel speedup over the sparse merge).
+//
+// Example:
+//
+//	benchkernels -out BENCH_kernels.json
+//	benchkernels -quick -out BENCH_kernels.json   # reduced sweep for CI
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"genomeatscale/internal/bitmat"
+	"genomeatscale/internal/sparse"
+	"genomeatscale/internal/synth"
+)
+
+// kernelResult is one measured point of the sweep.
+type kernelResult struct {
+	// Storage is the column-storage policy: "sparse" (merge kernel
+	// everywhere), "auto" (hybrid layout at the default threshold) or
+	// "dense" (every non-empty column dense, contiguous kernel everywhere).
+	Storage string `json:"storage"`
+	// Occupancy is the fraction of word rows stored per column.
+	Occupancy float64 `json:"occupancy"`
+	// Workers is the shared-memory worker count of the measured kernel.
+	Workers int `json:"workers"`
+	// DenseCols is how many of the matrix's columns the policy stored dense.
+	DenseCols int `json:"dense_cols"`
+	// NsPerOp is the measured nanoseconds per full Gram accumulation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// SpeedupVsSerialSparse is ns(sparse, workers=1) / ns(this point) at the
+	// same occupancy — >1 means faster than the serial merge baseline.
+	SpeedupVsSerialSparse float64 `json:"speedup_vs_serial_sparse"`
+}
+
+// artifact is the BENCH_kernels.json schema.
+type artifact struct {
+	Rows    int            `json:"rows"`
+	Cols    int            `json:"cols"`
+	CPUs    int            `json:"cpus"`
+	Results []kernelResult `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchkernels:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchkernels", flag.ContinueOnError)
+	outPath := fs.String("out", "BENCH_kernels.json", "write the JSON artifact to this path")
+	rows := fs.Int("rows", 16384, "active rows of the packed benchmark matrix")
+	cols := fs.Int("cols", 128, "columns (samples) of the packed benchmark matrix")
+	quick := fs.Bool("quick", false, "reduced sweep for CI smoke runs")
+	minTime := fs.Duration("mintime", time.Second, "minimum measured wall time per benchmark point")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	occupancies := []float64{0.02, 0.1, 0.25, 0.5, 0.9}
+	workerDim := []int{1, 4}
+	if *quick {
+		occupancies = []float64{0.1, 0.5, 0.9}
+		if *rows > 4096 {
+			*rows = 4096
+		}
+		if *cols > 64 {
+			*cols = 64
+		}
+	}
+	policies := []struct {
+		name      string
+		threshold int
+	}{
+		{"sparse", bitmat.DenseNever},
+		{"auto", bitmat.DenseAuto},
+		{"dense", 1},
+	}
+
+	art := artifact{Rows: *rows, Cols: *cols, CPUs: runtime.GOMAXPROCS(0)}
+	for _, occ := range occupancies {
+		var serialSparseNs float64
+		for _, pol := range policies {
+			packed := buildPacked(7, *rows, *cols, occ, pol.threshold)
+			acc := sparse.NewDense[int64](packed.Cols, packed.Cols)
+			for _, workers := range workerDim {
+				w := workers
+				ns := measure(*minTime, func() { packed.GramAccumulateWorkers(acc, w) })
+				if pol.name == "sparse" && workers == 1 {
+					serialSparseNs = ns
+				}
+				speedup := 0.0
+				if ns > 0 && serialSparseNs > 0 {
+					speedup = serialSparseNs / ns
+				}
+				art.Results = append(art.Results, kernelResult{
+					Storage:               pol.name,
+					Occupancy:             occ,
+					Workers:               workers,
+					DenseCols:             packed.DenseCols(),
+					NsPerOp:               ns,
+					SpeedupVsSerialSparse: speedup,
+				})
+				fmt.Fprintf(out, "occ=%.2f storage=%-6s workers=%d dense-cols=%3d  %12.0f ns/op  %5.2fx vs serial sparse\n",
+					occ, pol.name, workers, packed.DenseCols(), ns, speedup)
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "kernel benchmark artifact written to %s (%d points)\n", *outPath, len(art.Results))
+	return nil
+}
+
+// measure times fn like a benchmark: after a warm-up call, the iteration
+// count ramps until at least minTime of wall clock is covered, and the
+// mean nanoseconds per call of the final batch is returned.
+func measure(minTime time.Duration, fn func()) float64 {
+	fn()
+	n := 1
+	for {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= minTime {
+			return float64(elapsed.Nanoseconds()) / float64(n)
+		}
+		if elapsed <= 0 {
+			n *= 100
+			continue
+		}
+		grown := int(float64(n)*float64(minTime)/float64(elapsed)*1.2) + 1
+		n = grown
+	}
+}
+
+// buildPacked generates a packed matrix whose columns each store roughly
+// `occupancy` of the word rows (the quantity the dense threshold acts on),
+// stored under the given dense-threshold spec. It shares the
+// synth.WordOccupancyRows fixture with the in-repo benchmarks in
+// bench_test.go so the artifact's numbers stay comparable with them.
+func buildPacked(seed uint64, rows, cols int, occupancy float64, threshold int) *bitmat.Packed {
+	rowsPerCol := synth.WordOccupancyRows(synth.NewRNG(seed), rows, cols, occupancy)
+	return bitmat.PackColumnsThreshold(rowsPerCol, rows, 64, threshold)
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunWritesArtifact runs a tiny sweep end to end and validates the
+// JSON schema and the invariants the artifact promises: every (occupancy,
+// storage, workers) point present, serial sparse points as the speedup
+// anchor (speedup 1.0), and dense column counts that follow the policy.
+func TestRunWritesArtifact(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_kernels.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-rows", "1024", "-cols", "8", "-mintime", "10ms", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if art.Rows != 1024 || art.Cols != 8 || art.CPUs < 1 {
+		t.Fatalf("bad dimensions: %+v", art)
+	}
+	// quick mode: 3 occupancies × 3 policies × 2 worker counts.
+	if len(art.Results) != 18 {
+		t.Fatalf("got %d results, want 18", len(art.Results))
+	}
+	for _, r := range art.Results {
+		if r.NsPerOp <= 0 {
+			t.Errorf("%+v: non-positive ns/op", r)
+		}
+		if r.Storage == "sparse" && r.DenseCols != 0 {
+			t.Errorf("sparse policy stored %d dense columns", r.DenseCols)
+		}
+		if r.Storage == "dense" && r.DenseCols == 0 {
+			t.Errorf("dense policy stored no dense columns")
+		}
+		if r.Storage == "sparse" && r.Workers == 1 && r.SpeedupVsSerialSparse != 1 {
+			t.Errorf("serial sparse anchor has speedup %v, want 1", r.SpeedupVsSerialSparse)
+		}
+		if r.SpeedupVsSerialSparse <= 0 {
+			t.Errorf("%+v: non-positive speedup", r)
+		}
+	}
+}

@@ -44,6 +44,7 @@ func run(args []string, out *os.File) error {
 	maskBits := fs.Int("mask-bits", 64, "bitmask compression width b (1..64)")
 	replication := fs.Int("replication", 1, "processor-grid replication factor c")
 	workers := fs.Int("workers", 0, "shared-memory worker goroutines per process for the Gram kernel, packing and finalization (0 = one per CPU, 1 = serial)")
+	denseThreshold := fs.Int("dense-threshold", 0, "stored-word count at which a packed column is held as a dense slab (0 = auto ≈ ¼ of the word rows, negative = always sparse)")
 	simPath := fs.String("similarity", "", "write the similarity matrix to this TSV file")
 	distPath := fs.String("distance", "", "write the distance matrix to this TSV file")
 	phylipPath := fs.String("phylip", "", "write the distance matrix in PHYLIP format to this file")
@@ -81,11 +82,12 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 	opts := core.Options{
-		BatchCount:  *batches,
-		MaskBits:    *maskBits,
-		Procs:       *procs,
-		Replication: *replication,
-		Workers:     *workers,
+		BatchCount:     *batches,
+		MaskBits:       *maskBits,
+		Procs:          *procs,
+		Replication:    *replication,
+		Workers:        *workers,
+		DenseThreshold: *denseThreshold,
 	}
 	var res *core.Result
 	if *procs > 1 {

@@ -39,6 +39,7 @@ func run(args []string, out *os.File) error {
 	maskBits := fs.Int("mask-bits", 64, "bitmask compression width b")
 	replication := fs.Int("replication", 1, "processor-grid replication factor c")
 	workers := fs.Int("workers", 0, "shared-memory worker goroutines per process for the Gram kernel, packing and finalization (0 = one per CPU, 1 = serial)")
+	denseThreshold := fs.Int("dense-threshold", 0, "stored-word count at which a packed column is held as a dense slab (0 = auto ≈ ¼ of the word rows, negative = always sparse)")
 	output := fs.String("output", "", "write the similarity matrix to this TSV file (default: print)")
 	distance := fs.Bool("distance", false, "report Jaccard distances (1 − J) instead of similarities")
 	if err := fs.Parse(args); err != nil {
@@ -74,7 +75,7 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 
-	opts := core.Options{BatchCount: *batches, MaskBits: *maskBits, Procs: *procs, Replication: *replication, Workers: *workers}
+	opts := core.Options{BatchCount: *batches, MaskBits: *maskBits, Procs: *procs, Replication: *replication, Workers: *workers, DenseThreshold: *denseThreshold}
 	var res *core.Result
 	if *procs > 1 {
 		res, err = core.Compute(ds, opts)

@@ -9,6 +9,99 @@ import (
 	"genomeatscale/internal/sparse"
 )
 
+// colView is the layout-aware handle the Gram kernels use to read one
+// column without per-cell layout checks on the slices themselves: dense
+// columns expose their full WordRows-length slab slice, sparse columns the
+// (wordRow, word) stream views.
+type colView struct {
+	dense []uint64 // non-nil => dense column
+	wr    []int
+	ws    []uint64
+}
+
+func (v colView) empty() bool { return v.dense == nil && len(v.ws) == 0 }
+
+// view returns the kernel view of column j.
+func (p *Packed) view(j int) colView {
+	if p.denseOff != nil {
+		if off := p.denseOff[j]; off >= 0 {
+			return colView{dense: p.slab[off : off+p.WordRows]}
+		}
+	}
+	lo, hi := p.colPtr[j], p.colPtr[j+1]
+	return colView{wr: p.wordRow[lo:hi], ws: p.words[lo:hi]}
+}
+
+// pairPopcount dispatches one Gram cell to the kernel matching the two
+// columns' layouts: dense×dense runs the straight unrolled AND+popcount
+// loop, dense×sparse gathers by the sparse side's word-row indices, and
+// sparse×sparse keeps the historical index merge. All three compute the
+// same Σ popcount(vi ∧ vj), so the result is independent of the layout.
+func pairPopcount(a, b colView) int {
+	switch {
+	case a.dense != nil && b.dense != nil:
+		return densePopcountAnd(a.dense, b.dense)
+	case a.dense != nil:
+		return gatherPopcountAnd(a.dense, b.wr, b.ws)
+	case b.dense != nil:
+		return gatherPopcountAnd(b.dense, a.wr, a.ws)
+	default:
+		return mergePopcount(a.wr, a.ws, b.wr, b.ws)
+	}
+}
+
+// densePopcountAnd accumulates popcount(a[k] & b[k]) over two equal-length
+// dense word slabs. The 4-way unrolling keeps four independent popcount
+// chains in flight; there are no index comparisons at all.
+func densePopcountAnd(a, b []uint64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var a0, a1, a2, a3 int
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		a0 += bitutil.PopcountAnd(a[i], b[i])
+		a1 += bitutil.PopcountAnd(a[i+1], b[i+1])
+		a2 += bitutil.PopcountAnd(a[i+2], b[i+2])
+		a3 += bitutil.PopcountAnd(a[i+3], b[i+3])
+	}
+	for ; i < n; i++ {
+		a0 += bitutil.PopcountAnd(a[i], b[i])
+	}
+	return a0 + a1 + a2 + a3
+}
+
+// gatherPopcountAnd accumulates popcount(dense[wr[k]] & ws[k]): the sparse
+// side drives, each of its stored words gathers its partner by direct
+// indexing into the dense slab — no merge.
+func gatherPopcountAnd(dense []uint64, wr []int, ws []uint64) int {
+	acc := 0
+	for k, w := range wr {
+		acc += bitutil.PopcountAnd(dense[w], ws[k])
+	}
+	return acc
+}
+
+// mergePopcount merges two sorted (wordRow, word) streams and accumulates
+// popcount(wi & wj) on matching word rows.
+func mergePopcount(wi []int, vi []uint64, wj []int, vj []uint64) int {
+	acc, a, b := 0, 0, 0
+	for a < len(wi) && b < len(wj) {
+		switch {
+		case wi[a] < wj[b]:
+			a++
+		case wi[a] > wj[b]:
+			b++
+		default:
+			acc += bitutil.PopcountAnd(vi[a], vj[b])
+			a++
+			b++
+		}
+	}
+	return acc
+}
+
 // Gram computes B = ÂᵀÂ over the popcount-AND semiring (Eq. 7):
 // B[i][j] = Σ_k popcount(Â[k][i] ∧ Â[k][j]). With indicator data this equals
 // the intersection cardinality |X_i ∩ X_j| restricted to the rows covered by
@@ -36,6 +129,8 @@ func (p *Packed) GramAccumulate(into *sparse.Dense[int64]) {
 // the flushed regions are pairwise disjoint, so the writes are race-free
 // and the result is bit-identical to the serial path for every workers
 // value (int64 addition is associative and each cell is computed once).
+// Every cell dispatches through pairPopcount, so the kernel choice follows
+// the two columns' storage layouts.
 func (p *Packed) GramAccumulateWorkers(into *sparse.Dense[int64], workers int) {
 	if into.Rows != p.Cols || into.Cols != p.Cols {
 		panic(fmt.Sprintf("bitmat: Gram accumulator shape %dx%d, want %dx%d", into.Rows, into.Cols, p.Cols, p.Cols))
@@ -62,17 +157,17 @@ func (p *Packed) GramAccumulateWorkers(into *sparse.Dense[int64], workers int) {
 		tw := t.j1 - t.j0
 		slab := make([]int64, (t.i1-t.i0)*tw)
 		for i := t.i0; i < t.i1; i++ {
-			wi, vi := p.Col(i)
-			if len(wi) == 0 {
+			vi := p.view(i)
+			if vi.empty() {
 				continue
 			}
 			row := slab[(i-t.i0)*tw:]
 			for j := max(t.j0, i); j < t.j1; j++ {
-				wj, vj := p.Col(j)
-				if len(wj) == 0 {
+				vj := p.view(j)
+				if vj.empty() {
 					continue
 				}
-				row[j-t.j0] = int64(mergePopcount(wi, vi, wj, vj))
+				row[j-t.j0] = int64(pairPopcount(vi, vj))
 			}
 		}
 		for i := t.i0; i < t.i1; i++ {
@@ -92,20 +187,21 @@ func (p *Packed) GramAccumulateWorkers(into *sparse.Dense[int64], workers int) {
 }
 
 // gramAccumulateSerial is the historical single-threaded kernel, with the
-// per-cell closure accumulation replaced by direct slice indexing.
+// per-cell closure accumulation replaced by direct slice indexing and the
+// popcount dispatched by column layout.
 func (p *Packed) gramAccumulateSerial(into *sparse.Dense[int64]) {
 	stride := into.Cols
 	for i := 0; i < p.Cols; i++ {
-		wi, vi := p.Col(i)
-		if len(wi) == 0 {
+		vi := p.view(i)
+		if vi.empty() {
 			continue
 		}
 		for j := i; j < p.Cols; j++ {
-			wj, vj := p.Col(j)
-			if len(wj) == 0 {
+			vj := p.view(j)
+			if vj.empty() {
 				continue
 			}
-			c := int64(mergePopcount(wi, vi, wj, vj))
+			c := int64(pairPopcount(vi, vj))
 			if c == 0 {
 				continue
 			}
@@ -147,7 +243,9 @@ func GramBlock(a, b *Packed) *sparse.Dense[int64] {
 // (same workers convention as GramAccumulateWorkers). The rectangular
 // output is tiled into square blocks; tiles write disjoint regions of the
 // fresh result matrix, so no synchronisation beyond the pool join is
-// needed and the result is identical for every workers value.
+// needed and the result is identical for every workers value. The two
+// operands may use different storage layouts; every cell dispatches
+// through pairPopcount.
 func GramBlockWorkers(a, b *Packed, workers int) *sparse.Dense[int64] {
 	if a.WordRows != b.WordRows || a.B != b.B {
 		panic(fmt.Sprintf("bitmat: GramBlock row-space mismatch (%d,%d) vs (%d,%d)", a.WordRows, a.B, b.WordRows, b.B))
@@ -175,42 +273,23 @@ func GramBlockWorkers(a, b *Packed, workers int) *sparse.Dense[int64] {
 }
 
 // gramBlockInto fills one output tile of the a×b Gram block with direct
-// indexed writes.
+// indexed writes, dispatching each cell by the operand columns' layouts.
 func gramBlockInto(a, b *Packed, out *sparse.Dense[int64], t tileSpec) {
 	stride := out.Cols
 	for i := t.i0; i < t.i1; i++ {
-		wi, vi := a.Col(i)
-		if len(wi) == 0 {
+		vi := a.view(i)
+		if vi.empty() {
 			continue
 		}
 		row := out.Data[i*stride : (i+1)*stride]
 		for j := t.j0; j < t.j1; j++ {
-			wj, vj := b.Col(j)
-			if len(wj) == 0 {
+			vj := b.view(j)
+			if vj.empty() {
 				continue
 			}
-			row[j] = int64(mergePopcount(wi, vi, wj, vj))
+			row[j] = int64(pairPopcount(vi, vj))
 		}
 	}
-}
-
-// mergePopcount merges two sorted (wordRow, word) streams and accumulates
-// popcount(wi & wj) on matching word rows.
-func mergePopcount(wi []int, vi []uint64, wj []int, vj []uint64) int {
-	acc, a, b := 0, 0, 0
-	for a < len(wi) && b < len(wj) {
-		switch {
-		case wi[a] < wj[b]:
-			a++
-		case wi[a] > wj[b]:
-			b++
-		default:
-			acc += bitutil.PopcountAnd(vi[a], vj[b])
-			a++
-			b++
-		}
-	}
-	return acc
 }
 
 // ColPopcounts returns the per-column set-bit counts, i.e. this batch's
@@ -218,15 +297,22 @@ func mergePopcount(wi []int, vi []uint64, wj []int, vj []uint64) int {
 func (p *Packed) ColPopcounts() []int64 {
 	out := make([]int64, p.Cols)
 	for j := 0; j < p.Cols; j++ {
-		_, words := p.Col(j)
-		out[j] = int64(bitutil.PopcountSlice(words))
+		if p.IsDense(j) {
+			out[j] = int64(bitutil.PopcountSlice(p.denseColWords(j)))
+			continue
+		}
+		lo, hi := p.colPtr[j], p.colPtr[j+1]
+		out[j] = int64(bitutil.PopcountSlice(p.words[lo:hi]))
 	}
 	return out
 }
 
 // ColRange extracts the packed sub-matrix of columns [lo, hi), sharing the
-// same row space. Used to build per-processor column blocks for the
-// distributed Gram product.
+// same row space and the dense-threshold spec. Used to build per-processor
+// column blocks for the distributed Gram product. Because neither WordRows
+// nor any column's stored-word count changes, each column keeps its layout
+// and is copied directly — dense slabs as slabs, sparse streams into
+// exactly presized streams.
 func (p *Packed) ColRange(lo, hi int) *Packed {
 	if lo < 0 || hi > p.Cols || lo > hi {
 		panic(fmt.Sprintf("bitmat: ColRange [%d,%d) out of range for %d columns", lo, hi, p.Cols))
@@ -236,13 +322,41 @@ func (p *Packed) ColRange(lo, hi int) *Packed {
 		Cols:       hi - lo,
 		B:          p.B,
 		ActiveRows: p.ActiveRows,
+		threshold:  p.threshold,
 		colPtr:     make([]int, hi-lo+1),
 	}
+	sparseWords, numDense := 0, 0
 	for j := lo; j < hi; j++ {
-		wr, ws := p.Col(j)
-		out.wordRow = append(out.wordRow, wr...)
-		out.words = append(out.words, ws...)
+		if p.IsDense(j) {
+			numDense++
+		} else {
+			sparseWords += p.colPtr[j+1] - p.colPtr[j]
+		}
+	}
+	out.wordRow = make([]int, 0, sparseWords)
+	out.words = make([]uint64, 0, sparseWords)
+	if numDense > 0 {
+		out.denseOff = make([]int, hi-lo)
+		out.slab = make([]uint64, 0, numDense*p.WordRows)
+	}
+	for j := lo; j < hi; j++ {
+		if p.IsDense(j) {
+			out.denseOff[j-lo] = len(out.slab)
+			out.slab = append(out.slab, p.denseColWords(j)...)
+		} else {
+			if out.denseOff != nil {
+				out.denseOff[j-lo] = -1
+			}
+			clo, chi := p.colPtr[j], p.colPtr[j+1]
+			out.wordRow = append(out.wordRow, p.wordRow[clo:chi]...)
+			out.words = append(out.words, p.words[clo:chi]...)
+		}
 		out.colPtr[j-lo+1] = len(out.words)
+	}
+	for _, w := range out.slab {
+		if w != 0 {
+			out.slabNNZ++
+		}
 	}
 	return out
 }
@@ -250,7 +364,11 @@ func (p *Packed) ColRange(lo, hi int) *Packed {
 // WordRowRange extracts the packed sub-matrix restricted to word rows
 // [lo, hi), with word-row indices shifted to start at zero. Used to split
 // the contraction (row) dimension across the c replication layers of the
-// 3D processor grid.
+// 3D processor grid. A count pass sizes the output exactly, and each
+// column's layout is re-decided against the threshold resolved at the new
+// (smaller) word-row height, so a column dense over the full batch may
+// return to the sparse stream in a thin layer slice and vice versa never
+// (slicing cannot increase a column's stored-word count beyond the height).
 func (p *Packed) WordRowRange(lo, hi int) *Packed {
 	if lo < 0 || hi > p.WordRows || lo > hi {
 		panic(fmt.Sprintf("bitmat: WordRowRange [%d,%d) out of range for %d word rows", lo, hi, p.WordRows))
@@ -267,29 +385,105 @@ func (p *Packed) WordRowRange(lo, hi int) *Packed {
 		Cols:       p.Cols,
 		B:          p.B,
 		ActiveRows: active,
+		threshold:  p.threshold,
 		colPtr:     make([]int, p.Cols+1),
 	}
+	t := resolveDenseThreshold(p.threshold, out.WordRows)
+
+	// Count pass: stored words of each column inside [lo, hi). Sparse
+	// streams are sorted by word row, so the range is two binary searches;
+	// dense slabs count their nonzero words in the slice.
+	counts := make([]int, p.Cols)
+	starts := make([]int, p.Cols) // sparse columns: stream index of first word in range
+	sparseWords, numDense := 0, 0
 	for j := 0; j < p.Cols; j++ {
-		wr, ws := p.Col(j)
-		for k, w := range wr {
-			if w >= lo && w < hi {
-				out.wordRow = append(out.wordRow, w-lo)
-				out.words = append(out.words, ws[k])
+		var cnt int
+		if p.IsDense(j) {
+			for _, w := range p.denseColWords(j)[lo:hi] {
+				if w != 0 {
+					cnt++
+				}
+			}
+		} else {
+			clo, chi := p.colPtr[j], p.colPtr[j+1]
+			wr := p.wordRow[clo:chi]
+			s := sort.SearchInts(wr, lo)
+			e := sort.SearchInts(wr, hi)
+			starts[j] = clo + s
+			cnt = e - s
+		}
+		counts[j] = cnt
+		if t >= 0 && cnt >= t {
+			numDense++
+		} else {
+			sparseWords += cnt
+		}
+	}
+
+	out.wordRow = make([]int, 0, sparseWords)
+	out.words = make([]uint64, 0, sparseWords)
+	if numDense > 0 {
+		out.denseOff = make([]int, p.Cols)
+		out.slab = make([]uint64, numDense*out.WordRows)
+	}
+	off := 0
+	for j := 0; j < p.Cols; j++ {
+		dense := t >= 0 && counts[j] >= t
+		if out.denseOff != nil && !dense {
+			out.denseOff[j] = -1
+		}
+		switch {
+		case dense && p.IsDense(j):
+			out.denseOff[j] = off
+			copy(out.slab[off:off+out.WordRows], p.denseColWords(j)[lo:hi])
+			off += out.WordRows
+		case dense:
+			out.denseOff[j] = off
+			row := out.slab[off : off+out.WordRows]
+			for k := starts[j]; k < starts[j]+counts[j]; k++ {
+				row[p.wordRow[k]-lo] = p.words[k]
+			}
+			off += out.WordRows
+		case p.IsDense(j):
+			for k, w := range p.denseColWords(j)[lo:hi] {
+				if w != 0 {
+					out.wordRow = append(out.wordRow, k)
+					out.words = append(out.words, w)
+				}
+			}
+		default:
+			for k := starts[j]; k < starts[j]+counts[j]; k++ {
+				out.wordRow = append(out.wordRow, p.wordRow[k]-lo)
+				out.words = append(out.words, p.words[k])
 			}
 		}
 		out.colPtr[j+1] = len(out.words)
+	}
+	for _, w := range out.slab {
+		if w != 0 {
+			out.slabNNZ++
+		}
 	}
 	return out
 }
 
 // Entries returns the packed matrix as coordinate triples
-// (wordRow, col, word); used to move packed blocks through the BSP runtime.
+// (wordRow, col, word), sorted by (col, wordRow) regardless of the storage
+// layout; used to move packed blocks through the BSP runtime. The output
+// is sized exactly from the stored-word counts.
 func (p *Packed) Entries() []PackedEntry {
-	out := make([]PackedEntry, 0, len(p.words))
+	out := make([]PackedEntry, 0, p.NNZWords())
 	for j := 0; j < p.Cols; j++ {
-		wr, ws := p.Col(j)
-		for k := range wr {
-			out = append(out, PackedEntry{WordRow: wr[k], Col: j, Word: ws[k]})
+		if p.IsDense(j) {
+			for k, w := range p.denseColWords(j) {
+				if w != 0 {
+					out = append(out, PackedEntry{WordRow: k, Col: j, Word: w})
+				}
+			}
+			continue
+		}
+		for k := p.colPtr[j]; k < p.colPtr[j+1]; k++ {
+			out = append(out, PackedEntry{WordRow: p.wordRow[k], Col: j, Word: p.words[k]})
 		}
 	}
 	return out
@@ -302,11 +496,17 @@ type PackedEntry struct {
 	Word    uint64
 }
 
-// FromEntries rebuilds a Packed matrix from coordinate packed entries.
-// Entries for the same (wordRow, col) are OR-combined. Entries already
-// sorted by (col, wordRow) — the order Packed.Entries and the batch packing
-// in internal/core emit — are assembled in a single linear pass.
+// FromEntries rebuilds a Packed matrix from coordinate packed entries with
+// the DenseAuto layout. Entries for the same (wordRow, col) are
+// OR-combined. Entries already sorted by (col, wordRow) — the order
+// Packed.Entries and the batch packing in internal/core emit — are
+// assembled in a single linear pass.
 func FromEntries(entries []PackedEntry, wordRows, cols, b, activeRows int) *Packed {
+	return FromEntriesThreshold(entries, wordRows, cols, b, activeRows, DenseAuto)
+}
+
+// FromEntriesThreshold is FromEntries with an explicit dense-threshold spec.
+func FromEntriesThreshold(entries []PackedEntry, wordRows, cols, b, activeRows, denseThreshold int) *Packed {
 	sorted := true
 	for i, e := range entries {
 		if e.Col < 0 || e.Col >= cols || e.WordRow < 0 || e.WordRow >= wordRows {
@@ -322,9 +522,12 @@ func FromEntries(entries []PackedEntry, wordRows, cols, b, activeRows int) *Pack
 		Cols:       cols,
 		B:          b,
 		ActiveRows: activeRows,
+		threshold:  denseThreshold,
 		colPtr:     make([]int, cols+1),
 	}
 	if sorted {
+		out.wordRow = make([]int, 0, len(entries))
+		out.words = make([]uint64, 0, len(entries))
 		for i := 0; i < len(entries); {
 			e := entries[i]
 			word := e.Word
@@ -340,6 +543,7 @@ func FromEntries(entries []PackedEntry, wordRows, cols, b, activeRows int) *Pack
 				out.colPtr[j] = out.colPtr[j-1]
 			}
 		}
+		out.densify()
 		return out
 	}
 	perCol := make([]map[int]uint64, cols)
@@ -362,5 +566,6 @@ func FromEntries(entries []PackedEntry, wordRows, cols, b, activeRows int) *Pack
 		}
 		out.colPtr[j+1] = len(out.words)
 	}
+	out.densify()
 	return out
 }

@@ -5,7 +5,6 @@ import (
 
 	"genomeatscale/internal/bitmat"
 	"genomeatscale/internal/bitutil"
-	"genomeatscale/internal/dist"
 	"genomeatscale/internal/par"
 )
 
@@ -17,8 +16,9 @@ import (
 //	               path sees every sample and uses dist.Compact directly,
 //	               the distributed path exchanges writes through
 //	               dist.FilterVector
-//	packBatch    — compact rows via dist.CompactIndex (Eq. 6) and pack them
-//	               into MaskBits-wide words (Â(l), Section III-B)
+//	packBatch    — compact rows against the sorted nonzero list with a
+//	               two-pointer merge (Eq. 6) and pack them into
+//	               MaskBits-wide words (Â(l), Section III-B)
 //
 // The modes differ only in which samples are visible to a process and in
 // who accumulates the Gram contribution (a local dense accumulator versus
@@ -107,14 +107,21 @@ func packBatch(columns []batchColumn, nonzero []int64, lo uint64, maskBits, work
 
 // packColumnInto packs one column's batch rows into MaskBits-wide
 // coordinate words appended to entries (the per-column unit of work of
-// packBatch).
+// packBatch). The column's values and the nonzero row list are both sorted
+// ascending (Dataset contract, dist.Compact), so the compacted position of
+// each value is found by a two-pointer merge — O(nnz + r) per column
+// instead of the O(nnz·log r) of a per-value binary search.
 func packColumnInto(entries []bitmat.PackedEntry, cr batchColumn, nonzero []int64, lo uint64, maskBits int) ([]bitmat.PackedEntry, error) {
 	prevWord := -1
 	var cur uint64
+	ci := 0
 	for _, v := range cr.vals {
-		ci := dist.CompactIndex(nonzero, int64(v-lo))
-		if ci < 0 {
-			return nil, fmt.Errorf("core: row %d missing from filter", v-lo)
+		row := int64(v - lo)
+		for ci < len(nonzero) && nonzero[ci] < row {
+			ci++
+		}
+		if ci >= len(nonzero) || nonzero[ci] != row {
+			return nil, fmt.Errorf("core: row %d missing from filter", row)
 		}
 		w := ci / maskBits
 		if w != prevWord {

@@ -55,7 +55,7 @@ func Compute(ds Dataset, opts Options) (*Result, error) {
 
 	commStats, err := bsp.Run(opts.Procs, func(p *bsp.Proc) error {
 		ctx := dist.NewContext(p, opts.Replication)
-		engine := dist.NewGramEngine(ctx, n, workers)
+		engine := dist.NewGramEngine(ctx, n, workers, opts.DenseThreshold)
 
 		owned := ctx.OwnedSamples(n)
 		localCounts := make([]int64, n)

@@ -42,6 +42,19 @@ type Options struct {
 	// both paths.
 	Workers int
 
+	// DenseThreshold controls the hybrid dense/sparse column storage of the
+	// packed batch matrices Â(l) in internal/bitmat. Columns whose
+	// stored-word count reaches the threshold are held as a contiguous
+	// dense word slab and processed by the contiguous AND+popcount kernels;
+	// the rest keep the compact sorted (wordRow, word) stream and the merge
+	// kernel. 0 (the default) resolves to ~¼ of the batch's word rows
+	// (bitmat.DenseAuto); a negative value disables dense storage entirely
+	// (bitmat.DenseNever, the historical sparse-only layout); a positive
+	// value is an explicit stored-word count (1 = every non-empty column
+	// dense). The choice only affects storage and kernel selection — B, S
+	// and D are byte-identical for every value.
+	DenseThreshold int
+
 	// SkipGather, when true, leaves the similarity matrix distributed and
 	// does not assemble a full copy at rank 0. Use for large n where only
 	// timing/communication statistics are of interest.

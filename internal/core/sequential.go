@@ -56,7 +56,7 @@ func ComputeSequential(ds Dataset, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		packed := bitmat.FromEntries(entries, wordRowsFor(active, opts.MaskBits), n, opts.MaskBits, active)
+		packed := bitmat.FromEntriesThreshold(entries, wordRowsFor(active, opts.MaskBits), n, opts.MaskBits, active, opts.DenseThreshold)
 		packed.GramAccumulateWorkers(b, workers)
 
 		res.Stats.Batches++
@@ -71,10 +71,13 @@ func ComputeSequential(ds Dataset, opts Options) (*Result, error) {
 
 // finalize derives S and D from B and the per-sample cardinalities through
 // the shared Eq. 2 scalar, matching the blockwise derivation the
-// distributed path performs in dist.Blocks. The O(n²) elementwise
-// derivation is row-parallel on the worker pool: each row of S and D is
-// owned by exactly one index, so the writes are disjoint and the result is
-// identical for every workers value.
+// distributed path performs in dist.Blocks. B is exactly symmetric and
+// dist.Jaccard is symmetric in (i, j), so only the upper triangle is
+// derived and the lower triangle mirrored — halving the O(n²) Jaccard
+// evaluations. Both passes are row-parallel on the worker pool with
+// disjoint writes (each row of S and D is owned by exactly one index; the
+// mirror pass only reads rows j < i, fully written before the pool joined),
+// so the result is identical for every workers value.
 func finalize(res *Result, b *sparse.Dense[int64], skipGather bool, workers int) {
 	if skipGather {
 		return
@@ -87,10 +90,18 @@ func finalize(res *Result, b *sparse.Dense[int64], skipGather bool, workers int)
 		brow := b.Row(i)
 		srow := res.S.Row(i)
 		drow := res.D.Row(i)
-		for j := 0; j < n; j++ {
+		for j := i; j < n; j++ {
 			s := dist.Jaccard(brow[j], res.Cardinalities[i], res.Cardinalities[j])
 			srow[j] = s
 			drow[j] = 1 - s
+		}
+	})
+	par.ForEach(workers, n, func(i int) {
+		srow := res.S.Row(i)
+		drow := res.D.Row(i)
+		for j := 0; j < i; j++ {
+			srow[j] = res.S.Row(j)[i]
+			drow[j] = res.D.Row(j)[i]
 		}
 	})
 }

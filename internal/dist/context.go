@@ -8,7 +8,7 @@
 //
 // The package is consumed by internal/core: both the distributed Compute
 // path and the single-process ComputeSequential path share the compaction
-// primitives (Compact, CompactIndex) and the Eq. 2 scalar (Jaccard), so the
+// primitive (Compact) and the Eq. 2 scalar (Jaccard), so the
 // two execution modes are algebraically the same pipeline and differ only
 // in where the data lives.
 package dist

@@ -104,7 +104,7 @@ func TestFilterVectorWriteOutOfRange(t *testing.T) {
 	}
 }
 
-func TestCompactAndCompactIndex(t *testing.T) {
+func TestCompact(t *testing.T) {
 	got := Compact([]int64{5, 1, 5, 3, 1, 9})
 	want := []int64{1, 3, 5, 9}
 	if len(got) != len(want) {
@@ -117,14 +117,6 @@ func TestCompactAndCompactIndex(t *testing.T) {
 	}
 	if Compact(nil) != nil {
 		t.Error("Compact(nil) should be nil")
-	}
-	for i, r := range want {
-		if CompactIndex(want, r) != i {
-			t.Errorf("CompactIndex(%d) != %d", r, i)
-		}
-	}
-	if CompactIndex(want, 4) != -1 {
-		t.Error("absent row must map to -1")
 	}
 }
 
@@ -194,7 +186,7 @@ func TestGramEngineMatchesLocalGram(t *testing.T) {
 				ctx := NewContext(p, cfg.repl)
 				// workers: 2 exercises the tiled parallel local kernel under
 				// every grid shape; results must be identical to serial.
-				engine := NewGramEngine(ctx, cfg.cols, 2)
+				engine := NewGramEngine(ctx, cfg.cols, 2, bitmat.DenseAuto)
 				var mine []bitmat.PackedEntry
 				for _, e := range all {
 					if e.Col%cfg.procs == p.Rank() {
@@ -255,7 +247,7 @@ func TestGramEngineAccumulatesBatches(t *testing.T) {
 	var got *sparse.Dense[int64]
 	_, err := bsp.Run(4, func(p *bsp.Proc) error {
 		ctx := NewContext(p, 2)
-		engine := NewGramEngine(ctx, cols, 0) // 0 = all CPUs
+		engine := NewGramEngine(ctx, cols, 0, bitmat.DenseAuto) // 0 = all CPUs
 
 		for _, batch := range []*bitmat.Packed{a, b} {
 			var mine []bitmat.PackedEntry
@@ -288,7 +280,7 @@ func TestGramEngineEmptyBatch(t *testing.T) {
 		var got *sparse.Dense[int64]
 		_, err := bsp.Run(procs, func(p *bsp.Proc) error {
 			ctx := NewContext(p, 2)
-			engine := NewGramEngine(ctx, 5, 1)
+			engine := NewGramEngine(ctx, 5, 1, bitmat.DenseAuto)
 			engine.AddBatch(nil, 0, 64, 0)
 			blocks := engine.Finalize(make([]int64, 5))
 			res := blocks.GatherB(0)

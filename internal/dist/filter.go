@@ -86,14 +86,3 @@ func Compact(rows []int64) []int64 {
 	}
 	return out[:w]
 }
-
-// CompactIndex returns the compacted position of a batch row: its index in
-// the sorted nonzero list (Eq. 6), or -1 if the row was filtered out. The
-// sorted list makes the prefix sum of f(l) a binary search.
-func CompactIndex(nonzero []int64, row int64) int {
-	idx, found := slices.BinarySearch(nonzero, row)
-	if !found {
-		return -1
-	}
-	return idx
-}

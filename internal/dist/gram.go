@@ -28,30 +28,34 @@ type entrySlice []bitmat.PackedEntry
 func (e entrySlice) ByteSize() int { return 24 * len(e) }
 
 // packedWire moves a packed block between ranks: the coordinate entries
-// plus the dimensions needed to rebuild it with bitmat.FromEntries.
+// plus the dimensions and dense-threshold spec needed to rebuild it with
+// bitmat.FromEntriesThreshold, so a replicated panel re-adopts the hybrid
+// dense/sparse layout of its origin at the receiving rank.
 type packedWire struct {
-	Entries    entrySlice
-	WordRows   int
-	Cols       int
-	B          int
-	ActiveRows int
+	Entries        entrySlice
+	WordRows       int
+	Cols           int
+	B              int
+	ActiveRows     int
+	DenseThreshold int
 }
 
-// ByteSize implements bsp.ByteSizer: the entries plus four dimension words.
-func (w packedWire) ByteSize() int { return w.Entries.ByteSize() + 32 }
+// ByteSize implements bsp.ByteSizer: the entries plus five dimension words.
+func (w packedWire) ByteSize() int { return w.Entries.ByteSize() + 40 }
 
 func toWire(p *bitmat.Packed) packedWire {
 	return packedWire{
-		Entries:    p.Entries(),
-		WordRows:   p.WordRows,
-		Cols:       p.Cols,
-		B:          p.B,
-		ActiveRows: p.ActiveRows,
+		Entries:        p.Entries(),
+		WordRows:       p.WordRows,
+		Cols:           p.Cols,
+		B:              p.B,
+		ActiveRows:     p.ActiveRows,
+		DenseThreshold: p.DenseThresholdSpec(),
 	}
 }
 
 func fromWire(w packedWire) *bitmat.Packed {
-	return bitmat.FromEntries(w.Entries, w.WordRows, w.Cols, w.B, w.ActiveRows)
+	return bitmat.FromEntriesThreshold(w.Entries, w.WordRows, w.Cols, w.B, w.ActiveRows, w.DenseThreshold)
 }
 
 // GramEngine accumulates the distributed Gram product B = Σ_l Â(l)ᵀÂ(l)
@@ -61,9 +65,10 @@ func fromWire(w packedWire) *bitmat.Packed {
 // LayerWordRows of every batch's contraction dimension; Finalize sums the
 // per-layer partial blocks (the 3D algorithm's inter-layer reduction).
 type GramEngine struct {
-	ctx     *Context
-	n       int
-	workers int // shared-memory workers for the local popcount kernel
+	ctx            *Context
+	n              int
+	workers        int // shared-memory workers for the local popcount kernel
+	denseThreshold int // bitmat dense-threshold spec for panel assembly
 
 	rowLo, rowHi int // B rows owned by this rank's grid row
 	colLo, colHi int // B cols owned by this rank's grid column
@@ -75,9 +80,13 @@ type GramEngine struct {
 // the shared-memory worker count for this rank's local Gram kernel
 // (par.Resolve semantics: 0 = one per CPU, 1 = serial); since every rank of
 // an in-process run spawns its own pool, runs with many virtual ranks
-// typically pass 1.
-func NewGramEngine(ctx *Context, n, workers int) *GramEngine {
-	e := &GramEngine{ctx: ctx, n: n, workers: par.Resolve(workers)}
+// typically pass 1. denseThreshold is the bitmat dense-threshold spec
+// (bitmat.DenseAuto, bitmat.DenseNever or an explicit stored-word count)
+// applied when batch panels are assembled from their coordinate entries;
+// it selects the storage layout — and thereby the popcount kernel — of the
+// local SUMMA multiply.
+func NewGramEngine(ctx *Context, n, workers, denseThreshold int) *GramEngine {
+	e := &GramEngine{ctx: ctx, n: n, workers: par.Resolve(workers), denseThreshold: denseThreshold}
 	e.rowLo, e.rowHi = ctx.RowBlock(n)
 	e.colLo, e.colHi = ctx.ColBlock(n)
 	e.acc = sparse.NewDense[int64](e.rowHi-e.rowLo, e.colHi-e.colLo)
@@ -134,7 +143,7 @@ func (e *GramEngine) AddBatch(entries []bitmat.PackedEntry, wordRows, maskBits, 
 		for _, part := range aIn {
 			got = append(got, part...)
 		}
-		full := bitmat.FromEntries(got, wordRows, e.n, maskBits, activeRows)
+		full := bitmat.FromEntriesThreshold(got, wordRows, e.n, maskBits, activeRows, e.denseThreshold)
 		aPanel = full.WordRowRange(layerLo, layerHi).ColRange(e.rowLo, e.rowHi)
 	}
 	if e.ctx.Row == 0 {
@@ -142,7 +151,7 @@ func (e *GramEngine) AddBatch(entries []bitmat.PackedEntry, wordRows, maskBits, 
 		for _, part := range bIn {
 			got = append(got, part...)
 		}
-		full := bitmat.FromEntries(got, wordRows, e.n, maskBits, activeRows)
+		full := bitmat.FromEntriesThreshold(got, wordRows, e.n, maskBits, activeRows, e.denseThreshold)
 		bPanel = full.WordRowRange(layerLo, layerHi).ColRange(e.colLo, e.colHi)
 	}
 

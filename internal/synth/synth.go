@@ -212,3 +212,26 @@ func PairWithJaccard(rng *RNG, attributes uint64, size int, target float64) ([]u
 	}
 	return x, y
 }
+
+// WordOccupancyRows generates per-column sorted row-index lists whose
+// packed form (64-bit masks) stores roughly `occupancy` of the word rows
+// per column: each occupied 64-row segment receives three ascending bits.
+// It is the shared fixture of the hybrid popcount-kernel benchmarks
+// (bench_test.go and cmd/benchkernels), which sweep exactly this word-level
+// occupancy — the quantity the dense-storage threshold acts on.
+func WordOccupancyRows(r *RNG, rows, cols int, occupancy float64) [][]int {
+	rowsPerCol := make([][]int, cols)
+	wordRows := rows / 64
+	for j := range rowsPerCol {
+		for w := 0; w < wordRows; w++ {
+			if r.Float64() >= occupancy {
+				continue
+			}
+			base := w * 64
+			for _, bit := range []int{r.Intn(21), 21 + r.Intn(21), 42 + r.Intn(21)} {
+				rowsPerCol[j] = append(rowsPerCol[j], base+bit)
+			}
+		}
+	}
+	return rowsPerCol
+}
