@@ -1,7 +1,13 @@
-.PHONY: build test race bench
+.PHONY: build test race bench examples
 
 build:
 	go build ./...
+
+# examples go-runs every examples/ program (all are self-contained on tiny
+# synthetic inputs) so façade drift breaks CI instead of silently rotting
+# the documentation.
+examples:
+	@set -e; for d in examples/*/; do echo "== $$d"; go run ./$$d > /dev/null; done
 
 test:
 	go test ./...

@@ -11,6 +11,7 @@ package genomeatscale
 //	go test -bench=. -benchmem ./...
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -241,6 +242,32 @@ func BenchmarkDistributedPipeline8Ranks(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkStreamingVsGatherPeakOutput runs the distributed pipeline once
+// per iteration in streaming TopK mode and reports the peak resident
+// output footprint against the 3n² words a full gather holds at rank 0 —
+// the memory claim of the Engine.Stream API, also recorded in the
+// BENCH_kernels.json artifact by cmd/benchkernels.
+func BenchmarkStreamingVsGatherPeakOutput(b *testing.B) {
+	ds := benchmarkProxy(b)
+	engine, err := NewEngine(WithProcs(8), WithReplication(2), WithBatches(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	gatherWords := 3 * int64(ds.NumSamples()) * int64(ds.NumSamples())
+	var peak int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := engine.Stream(ctx, ds, TopK(10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = res.Stats.PeakTileWords
+	}
+	b.ReportMetric(float64(peak), "peak-tile-words")
+	b.ReportMetric(float64(gatherWords)/float64(peak), "gather-vs-stream-mem-ratio")
 }
 
 func BenchmarkDistributedPipeline12Ranks3Layers(b *testing.B) {

@@ -8,10 +8,10 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
+	"genomeatscale/internal/cliutil"
 	"genomeatscale/internal/figures"
 )
 
@@ -23,7 +23,7 @@ func main() {
 }
 
 func run(args []string) error {
-	fs := flag.NewFlagSet("benchfigs", flag.ContinueOnError)
+	fs := cliutil.NewFlagSet("benchfigs")
 	fig := fs.String("fig", "all", "which figure to regenerate: table2, 2a, 2b, 2c, 2d, 2e, 2f, 3, mcdram, accuracy, ablation-bitmask, ablation-replication, ablation-compression, all")
 	scaleName := fs.String("scale", "small", "measured-run scale: small or medium")
 	if err := fs.Parse(args); err != nil {

@@ -13,15 +13,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
-	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"time"
 
+	genomeatscale "genomeatscale"
+
 	"genomeatscale/internal/bitmat"
+	"genomeatscale/internal/cliutil"
 	"genomeatscale/internal/sparse"
 	"genomeatscale/internal/synth"
 )
@@ -45,12 +48,40 @@ type kernelResult struct {
 	SpeedupVsSerialSparse float64 `json:"speedup_vs_serial_sparse"`
 }
 
+// streamingResult compares the peak resident output footprint of a
+// streaming TopK run against the legacy full gather on the same dataset —
+// the memory headline of the Engine.Stream API: the gathered output is
+// 3n² words (B, S, D) while the streamed output peaks at one tile.
+type streamingResult struct {
+	// Samples is the dataset size n of the comparison run.
+	Samples int `json:"samples"`
+	// Procs is the virtual rank count of the runs.
+	Procs int `json:"procs"`
+	// TopK is the streamed reduction size.
+	TopK int `json:"top_k"`
+	// GatherOutputWords is the resident output of the legacy gather at rank
+	// 0: the B, S and D matrices, in 64-bit words.
+	GatherOutputWords int64 `json:"gather_output_words"`
+	// StreamPeakTileWords is RunStats.PeakTileWords of the streaming run —
+	// the largest single tile the sink ever held.
+	StreamPeakTileWords int64 `json:"stream_peak_tile_words"`
+	// PeakMemoryRatio is GatherOutputWords / StreamPeakTileWords (>1 means
+	// streaming reduced the peak resident output memory).
+	PeakMemoryRatio float64 `json:"peak_memory_ratio"`
+	// TilesEmitted is the tile count of the streaming run.
+	TilesEmitted int `json:"tiles_emitted"`
+	// GatherSeconds and StreamSeconds are the wall-clock times of the runs.
+	GatherSeconds float64 `json:"gather_seconds"`
+	StreamSeconds float64 `json:"stream_seconds"`
+}
+
 // artifact is the BENCH_kernels.json schema.
 type artifact struct {
-	Rows    int            `json:"rows"`
-	Cols    int            `json:"cols"`
-	CPUs    int            `json:"cpus"`
-	Results []kernelResult `json:"results"`
+	Rows      int              `json:"rows"`
+	Cols      int              `json:"cols"`
+	CPUs      int              `json:"cpus"`
+	Results   []kernelResult   `json:"results"`
+	Streaming *streamingResult `json:"streaming,omitempty"`
 }
 
 func main() {
@@ -61,7 +92,7 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
-	fs := flag.NewFlagSet("benchkernels", flag.ContinueOnError)
+	fs := cliutil.NewFlagSet("benchkernels")
 	outPath := fs.String("out", "BENCH_kernels.json", "write the JSON artifact to this path")
 	rows := fs.Int("rows", 16384, "active rows of the packed benchmark matrix")
 	cols := fs.Int("cols", 128, "columns (samples) of the packed benchmark matrix")
@@ -121,6 +152,12 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	stream, err := measureStreamingVsGather(out, *quick)
+	if err != nil {
+		return err
+	}
+	art.Streaming = stream
+
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
 		return err
@@ -130,6 +167,72 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "kernel benchmark artifact written to %s (%d points)\n", *outPath, len(art.Results))
 	return nil
+}
+
+// measureStreamingVsGather runs the full pipeline on the artifact's
+// largest synthetic dataset twice — legacy full gather versus an
+// Engine.Stream TopK run — and records the peak resident output memory of
+// each: 3n² words at the gathering root versus one tile plus the O(k)
+// reduction state when streaming.
+func measureStreamingVsGather(out io.Writer, quick bool) (*streamingResult, error) {
+	n, m := 256, uint64(40_000)
+	if quick {
+		n = 96
+	}
+	const topK = 10
+	rng := synth.NewRNG(11)
+	names := make([]string, n)
+	samples := make([][]uint64, n)
+	for i := range samples {
+		names[i] = fmt.Sprintf("s%03d", i)
+		var vals []uint64
+		for a := uint64(0); a < m; a++ {
+			if rng.Float64() < 0.02 {
+				vals = append(vals, a)
+			}
+		}
+		samples[i] = vals
+	}
+	ds, err := genomeatscale.NewDataset(names, samples, m)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := genomeatscale.NewEngine(
+		genomeatscale.WithProcs(4),
+		genomeatscale.WithBatches(2),
+	)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	gathered, err := engine.Similarity(ctx, ds)
+	if err != nil {
+		return nil, err
+	}
+	sink := genomeatscale.TopK(topK)
+	streamed, err := engine.Stream(ctx, ds, sink)
+	if err != nil {
+		return nil, err
+	}
+	if len(sink.Pairs()) != topK {
+		return nil, fmt.Errorf("streaming comparison: sink kept %d pairs, want %d", len(sink.Pairs()), topK)
+	}
+	res := &streamingResult{
+		Samples:             n,
+		Procs:               engine.Options().Procs,
+		TopK:                topK,
+		GatherOutputWords:   int64(len(gathered.B.Data) + len(gathered.S.Data) + len(gathered.D.Data)),
+		StreamPeakTileWords: streamed.Stats.PeakTileWords,
+		TilesEmitted:        streamed.Stats.TilesEmitted,
+		GatherSeconds:       gathered.Stats.TotalSeconds,
+		StreamSeconds:       streamed.Stats.TotalSeconds,
+	}
+	if res.StreamPeakTileWords > 0 {
+		res.PeakMemoryRatio = float64(res.GatherOutputWords) / float64(res.StreamPeakTileWords)
+	}
+	fmt.Fprintf(out, "streaming-vs-gather (n=%d, top-%d): gather %d words, stream peak tile %d words, ratio %.1fx\n",
+		n, topK, res.GatherOutputWords, res.StreamPeakTileWords, res.PeakMemoryRatio)
+	return res, nil
 }
 
 // measure times fn like a benchmark: after a warm-up call, the iteration

@@ -11,20 +11,23 @@
 //
 //	genomeatscale -k 19 -min-count 1 -procs 8 -batches 4 -workers 1 \
 //	    -similarity sim.tsv -distance dist.tsv -newick tree.nwk sample1.fa sample2.fa ...
+//
+// With -top-k or -threshold the run streams: only the requested sample
+// pairs are retained (in memory bounded by the reduction, not by n²) and
+// printed as a pair list instead of the full matrices.
 package main
 
 import (
-	"flag"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"genomeatscale/internal/cliutil"
 	"genomeatscale/internal/cluster"
-	"genomeatscale/internal/core"
 	"genomeatscale/internal/genome"
 	"genomeatscale/internal/output"
-	"genomeatscale/internal/sparse"
 )
 
 func main() {
@@ -35,21 +38,16 @@ func main() {
 }
 
 func run(args []string, out *os.File) error {
-	fs := flag.NewFlagSet("genomeatscale", flag.ContinueOnError)
+	fs := cliutil.NewFlagSet("genomeatscale")
 	k := fs.Int("k", 19, "k-mer length (1..31); the paper uses 19 for RNASeq and 31 for WGS data")
 	canonical := fs.Bool("canonical", true, "use canonical (strand-independent) k-mers")
 	minCount := fs.Int("min-count", 1, "drop k-mers occurring fewer than this many times in a sample (noise filter)")
-	procs := fs.Int("procs", 1, "number of virtual BSP ranks")
-	batches := fs.Int("batches", 1, "number of row batches of the indicator matrix")
-	maskBits := fs.Int("mask-bits", 64, "bitmask compression width b (1..64)")
-	replication := fs.Int("replication", 1, "processor-grid replication factor c")
-	workers := fs.Int("workers", 0, "shared-memory worker goroutines per process for the Gram kernel, packing and finalization (0 = one per CPU, 1 = serial)")
-	denseThreshold := fs.Int("dense-threshold", 0, "stored-word count at which a packed column is held as a dense slab (0 = auto ≈ ¼ of the word rows, negative = always sparse)")
+	compute := cliutil.BindCompute(fs)
 	simPath := fs.String("similarity", "", "write the similarity matrix to this TSV file")
 	distPath := fs.String("distance", "", "write the distance matrix to this TSV file")
 	phylipPath := fs.String("phylip", "", "write the distance matrix in PHYLIP format to this file")
 	newickPath := fs.String("newick", "", "write a neighbour-joining guide tree in Newick format to this file")
-	pairsThreshold := fs.Float64("pairs-threshold", -1, "if ≥ 0, print sample pairs with similarity at or above this threshold")
+	pairsThreshold := fs.Float64("pairs-threshold", -1, "if ≥ 0, print sample pairs with similarity at or above this threshold (post-hoc, from the gathered matrix)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,20 +79,29 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
-	opts := core.Options{
-		BatchCount:     *batches,
-		MaskBits:       *maskBits,
-		Procs:          *procs,
-		Replication:    *replication,
-		Workers:        *workers,
-		DenseThreshold: *denseThreshold,
+
+	if compute.Streaming() {
+		if *simPath != "" || *distPath != "" || *phylipPath != "" || *newickPath != "" {
+			return fmt.Errorf("streaming mode (-top-k/-threshold) does not gather the matrices; drop -similarity/-distance/-phylip/-newick")
+		}
+		if *pairsThreshold >= 0 {
+			return fmt.Errorf("-pairs-threshold filters the gathered matrix post hoc; in streaming mode use -threshold instead")
+		}
+		res, pairs, err := compute.StreamPairs(context.Background(), ds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nstreamed %d×%d Jaccard similarity run in %.3fs (%d tiles, peak tile %d words)\n",
+			res.N, res.N, res.Stats.TotalSeconds, res.Stats.TilesEmitted, res.Stats.PeakTileWords)
+		fmt.Fprintf(out, "\n%d retained sample pairs:\n", len(pairs))
+		return output.WritePairs(out, pairs)
 	}
-	var res *core.Result
-	if *procs > 1 {
-		res, err = core.Compute(ds, opts)
-	} else {
-		res, err = core.ComputeSequential(ds, opts)
+
+	e, err := compute.Engine()
+	if err != nil {
+		return err
 	}
+	res, err := e.Similarity(context.Background(), ds)
 	if err != nil {
 		return err
 	}
@@ -107,13 +114,13 @@ func run(args []string, out *os.File) error {
 	}
 
 	if *simPath != "" {
-		if err := writeMatrixTSV(*simPath, res.Names, res.S); err != nil {
+		if err := cliutil.WriteMatrixTSVFile(*simPath, res.Names, res.S); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "similarity matrix written to %s\n", *simPath)
 	}
 	if *distPath != "" {
-		if err := writeMatrixTSV(*distPath, res.Names, res.D); err != nil {
+		if err := cliutil.WriteMatrixTSVFile(*distPath, res.Names, res.D); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "distance matrix written to %s\n", *distPath)
@@ -145,46 +152,7 @@ func run(args []string, out *os.File) error {
 		}
 	}
 	if *simPath == "" && *distPath == "" {
-		printMatrix(out, res.Names, res.S)
+		cliutil.PrintMatrix(out, res.Names, res.S)
 	}
 	return nil
-}
-
-func writeMatrixTSV(path string, names []string, m *sparse.Dense[float64]) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	fmt.Fprintf(f, "sample\t%s\n", strings.Join(names, "\t"))
-	for i, name := range names {
-		cells := make([]string, m.Cols)
-		for j := 0; j < m.Cols; j++ {
-			cells[j] = fmt.Sprintf("%.6f", m.At(i, j))
-		}
-		fmt.Fprintf(f, "%s\t%s\n", name, strings.Join(cells, "\t"))
-	}
-	return nil
-}
-
-func printMatrix(out *os.File, names []string, m *sparse.Dense[float64]) {
-	fmt.Fprintf(out, "\n%-20s", "")
-	for _, n := range names {
-		fmt.Fprintf(out, " %10s", truncate(n, 10))
-	}
-	fmt.Fprintln(out)
-	for i, n := range names {
-		fmt.Fprintf(out, "%-20s", truncate(n, 20))
-		for j := range names {
-			fmt.Fprintf(out, " %10.4f", m.At(i, j))
-		}
-		fmt.Fprintln(out)
-	}
-}
-
-func truncate(s string, n int) string {
-	if len(s) <= n {
-		return s
-	}
-	return s[:n]
 }

@@ -101,18 +101,34 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 }
 
-func TestTruncate(t *testing.T) {
-	if truncate("abcdef", 3) != "abc" {
-		t.Error("truncate wrong")
+func TestRunStreamingTopK(t *testing.T) {
+	dir := t.TempDir()
+	paths := writeTestFASTA(t, dir, 4)
+	stdout, err := os.CreateTemp(dir, "stdout")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if truncate("ab", 3) != "ab" {
-		t.Error("truncate of short string wrong")
+	defer stdout.Close()
+	args := append([]string{"-k", "13", "-procs", "2", "-top-k", "2"}, paths...)
+	if err := run(args, stdout); err != nil {
+		t.Fatal(err)
+	}
+	content, _ := os.ReadFile(stdout.Name())
+	if !strings.Contains(string(content), "2 retained sample pairs") {
+		t.Errorf("expected 2 retained pairs in output:\n%s", content)
+	}
+	if !strings.Contains(string(content), "sample_a\tsample_b\tjaccard") {
+		t.Errorf("expected pair TSV header in output:\n%s", content)
 	}
 }
 
-func TestWriteMatrixTSVError(t *testing.T) {
-	err := writeMatrixTSV(filepath.Join(t.TempDir(), "missing-dir", "x.tsv"), nil, nil)
-	if err == nil {
-		t.Error("unwritable path should error")
+func TestRunStreamingRejectsMatrixOutputs(t *testing.T) {
+	dir := t.TempDir()
+	paths := writeTestFASTA(t, dir, 2)
+	stdout, _ := os.CreateTemp(dir, "stdout")
+	defer stdout.Close()
+	args := append([]string{"-top-k", "1", "-similarity", filepath.Join(dir, "s.tsv")}, paths...)
+	if err := run(args, stdout); err == nil {
+		t.Error("streaming mode combined with matrix outputs should be rejected")
 	}
 }

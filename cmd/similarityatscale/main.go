@@ -5,7 +5,8 @@
 // Each input file is one data sample; each non-empty line holds one
 // non-negative integer attribute value (the paper's Listing 2: "One file
 // line contains one data value"). The tool prints the similarity matrix or
-// writes it as TSV.
+// writes it as TSV; with -top-k or -threshold it streams, retaining only
+// the requested sample pairs instead of gathering the full matrix.
 //
 // Example:
 //
@@ -14,14 +15,16 @@ package main
 
 import (
 	"bufio"
-	"flag"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 
+	"genomeatscale/internal/cliutil"
 	"genomeatscale/internal/core"
+	"genomeatscale/internal/output"
 )
 
 func main() {
@@ -32,15 +35,10 @@ func main() {
 }
 
 func run(args []string, out *os.File) error {
-	fs := flag.NewFlagSet("similarityatscale", flag.ContinueOnError)
+	fs := cliutil.NewFlagSet("similarityatscale")
 	maxVal := fs.Uint64("m", 0, "number of possible attribute values (0 = derive from the data)")
-	procs := fs.Int("procs", 1, "number of virtual BSP ranks")
-	batches := fs.Int("batches", 1, "number of row batches")
-	maskBits := fs.Int("mask-bits", 64, "bitmask compression width b")
-	replication := fs.Int("replication", 1, "processor-grid replication factor c")
-	workers := fs.Int("workers", 0, "shared-memory worker goroutines per process for the Gram kernel, packing and finalization (0 = one per CPU, 1 = serial)")
-	denseThreshold := fs.Int("dense-threshold", 0, "stored-word count at which a packed column is held as a dense slab (0 = auto ≈ ¼ of the word rows, negative = always sparse)")
-	output := fs.String("output", "", "write the similarity matrix to this TSV file (default: print)")
+	compute := cliutil.BindCompute(fs)
+	outPath := fs.String("output", "", "write the similarity matrix to this TSV file (default: print)")
 	distance := fs.Bool("distance", false, "report Jaccard distances (1 − J) instead of similarities")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,13 +73,28 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 
-	opts := core.Options{BatchCount: *batches, MaskBits: *maskBits, Procs: *procs, Replication: *replication, Workers: *workers, DenseThreshold: *denseThreshold}
-	var res *core.Result
-	if *procs > 1 {
-		res, err = core.Compute(ds, opts)
-	} else {
-		res, err = core.ComputeSequential(ds, opts)
+	if compute.Streaming() {
+		if *outPath != "" {
+			return fmt.Errorf("streaming mode (-top-k/-threshold) does not gather the matrix; drop -output")
+		}
+		if *distance {
+			return fmt.Errorf("streaming mode (-top-k/-threshold) reports similarity pairs (distance = 1 − jaccard); drop -distance")
+		}
+		res, pairs, err := compute.StreamPairs(context.Background(), ds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "streamed %d×%d Jaccard similarity run over m=%d attributes in %.3fs (%d tiles)\n",
+			res.N, res.N, m, res.Stats.TotalSeconds, res.Stats.TilesEmitted)
+		fmt.Fprintf(out, "\n%d retained sample pairs:\n", len(pairs))
+		return output.WritePairs(out, pairs)
 	}
+
+	e, err := compute.Engine()
+	if err != nil {
+		return err
+	}
+	res, err := e.Similarity(context.Background(), ds)
 	if err != nil {
 		return err
 	}
@@ -95,30 +108,14 @@ func run(args []string, out *os.File) error {
 	fmt.Fprintf(out, "computed %d×%d Jaccard %s matrix over m=%d attributes in %.3fs\n",
 		res.N, res.N, label, m, res.Stats.TotalSeconds)
 
-	if *output != "" {
-		f, err := os.Create(*output)
-		if err != nil {
+	if *outPath != "" {
+		if err := cliutil.WriteMatrixTSVFile(*outPath, names, matrix); err != nil {
 			return err
 		}
-		defer f.Close()
-		fmt.Fprintf(f, "sample\t%s\n", strings.Join(names, "\t"))
-		for i, name := range names {
-			cells := make([]string, res.N)
-			for j := 0; j < res.N; j++ {
-				cells[j] = fmt.Sprintf("%.6f", matrix.At(i, j))
-			}
-			fmt.Fprintf(f, "%s\t%s\n", name, strings.Join(cells, "\t"))
-		}
-		fmt.Fprintf(out, "%s matrix written to %s\n", label, *output)
+		fmt.Fprintf(out, "%s matrix written to %s\n", label, *outPath)
 		return nil
 	}
-	for i, name := range names {
-		fmt.Fprintf(out, "%-24s", name)
-		for j := 0; j < res.N; j++ {
-			fmt.Fprintf(out, " %8.4f", matrix.At(i, j))
-		}
-		fmt.Fprintln(out)
-	}
+	cliutil.PrintMatrix(out, names, matrix)
 	return nil
 }
 

@@ -54,6 +54,29 @@ func TestRunWritesTSVAndDistance(t *testing.T) {
 	}
 }
 
+func TestRunStreamingThreshold(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSampleFile(t, dir, "a.txt", []string{"1", "2", "3"})
+	b := writeSampleFile(t, dir, "b.txt", []string{"2", "3", "4"})
+	c := writeSampleFile(t, dir, "c.txt", []string{"90", "91"})
+	stdout, _ := os.CreateTemp(dir, "stdout")
+	defer stdout.Close()
+	if err := run([]string{"-threshold", "0.4", a, b, c}, stdout); err != nil {
+		t.Fatal(err)
+	}
+	content, _ := os.ReadFile(stdout.Name())
+	if !strings.Contains(string(content), "1 retained sample pairs") {
+		t.Errorf("expected one retained pair, got:\n%s", content)
+	}
+	if !strings.Contains(string(content), "a\tb\t0.500000") {
+		t.Errorf("expected the (a, b) pair line, got:\n%s", content)
+	}
+	// Streaming cannot be combined with -output.
+	if err := run([]string{"-threshold", "0.4", "-output", dir + "/x.tsv", a, b}, stdout); err == nil {
+		t.Error("streaming with -output should be rejected")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	a := writeSampleFile(t, dir, "a.txt", []string{"1"})

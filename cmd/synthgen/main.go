@@ -9,11 +9,11 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
+	"genomeatscale/internal/cliutil"
 	"genomeatscale/internal/genome"
 	"genomeatscale/internal/synth"
 )
@@ -26,7 +26,7 @@ func main() {
 }
 
 func run(args []string, out *os.File) error {
-	fs := flag.NewFlagSet("synthgen", flag.ContinueOnError)
+	fs := cliutil.NewFlagSet("synthgen")
 	mode := fs.String("mode", "genomes", "what to generate: genomes (FASTA family) or sets (categorical sample files)")
 	samples := fs.Int("samples", 8, "number of samples to generate")
 	length := fs.Int("length", 50_000, "genomes: ancestor sequence length")

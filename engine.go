@@ -1,0 +1,151 @@
+package genomeatscale
+
+import (
+	"context"
+
+	"genomeatscale/internal/core"
+	"genomeatscale/internal/tile"
+)
+
+// Option configures an Engine; pass Options to NewEngine. Each With*
+// function overrides one field of the paper's default configuration
+// (DefaultOptions).
+type Option func(*Options)
+
+// WithProcs sets the number of virtual BSP ranks; values above 1 select
+// the fully distributed pipeline.
+func WithProcs(p int) Option { return func(o *Options) { o.Procs = p } }
+
+// WithWorkers sets the shared-memory worker-goroutine count per process
+// (0 = one per available CPU — a fair share per rank on the distributed
+// path — 1 = the exact serial kernels).
+func WithWorkers(w int) Option { return func(o *Options) { o.Workers = w } }
+
+// WithBatches sets the number of row batches the indicator matrix is split
+// into (r in Eq. 3 of the paper).
+func WithBatches(r int) Option { return func(o *Options) { o.BatchCount = r } }
+
+// WithMaskBits sets the bitmask compression width b (1..64).
+func WithMaskBits(b int) Option { return func(o *Options) { o.MaskBits = b } }
+
+// WithDenseThreshold sets the stored-word count at which a packed column is
+// held as a dense slab (0 = auto, negative = always sparse).
+func WithDenseThreshold(t int) Option { return func(o *Options) { o.DenseThreshold = t } }
+
+// WithReplication sets the processor-grid replication factor c of the
+// √(p/c) × √(p/c) × c layout.
+func WithReplication(c int) Option { return func(o *Options) { o.Replication = c } }
+
+// WithTileRows sets the row-band height of the tiles the sequential path
+// emits when streaming (0 = default). The distributed path's tiles are the
+// processor-grid result blocks and ignore this setting.
+func WithTileRows(r int) Option { return func(o *Options) { o.TileRows = r } }
+
+// WithSkipGather controls the legacy stats-only mode of Engine.Similarity:
+// when set, the full matrices are not assembled. Engine.Stream with the
+// Discard sink is the streaming equivalent.
+func WithSkipGather(skip bool) Option { return func(o *Options) { o.SkipGather = skip } }
+
+// Engine is a reusable, validated SimilarityAtScale configuration. Option
+// validation, the processor-grid layout and the worker-pool sizing happen
+// once in NewEngine and are amortised across calls; the engine is
+// immutable and safe for concurrent use.
+//
+// Both entry points take a context: cancelling it aborts the batch loop,
+// the per-column pack stage and the BSP superstep barriers, returning
+// ctx.Err() promptly with no leaked goroutines.
+type Engine struct {
+	core *core.Engine
+}
+
+// NewEngine builds an engine from the paper's defaults with the given
+// overrides applied, validating the resulting configuration once.
+func NewEngine(options ...Option) (*Engine, error) {
+	o := DefaultOptions()
+	for _, opt := range options {
+		opt(&o)
+	}
+	return NewEngineFromOptions(o)
+}
+
+// NewEngineFromOptions builds an engine from a fully populated Options
+// value — the bridge for callers (like the CLIs) that already assembled an
+// Options struct. New code should prefer NewEngine with functional options.
+func NewEngineFromOptions(opts Options) (*Engine, error) {
+	ce, err := core.NewEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{core: ce}, nil
+}
+
+// Options returns the configuration the engine was built with.
+func (e *Engine) Options() Options { return e.core.Options() }
+
+// Similarity runs SimilarityAtScale with the classic gathered-output
+// semantics: the full B, S and D matrices are assembled (at rank 0 for the
+// distributed path) unless the engine was built WithSkipGather(true).
+func (e *Engine) Similarity(ctx context.Context, ds Dataset) (*Result, error) {
+	return e.core.Similarity(ctx, ds)
+}
+
+// Stream runs SimilarityAtScale and delivers the result to sink as a
+// sequence of finalized tiles instead of assembling the n×n matrices; the
+// returned Result carries cardinalities and run statistics (tiles emitted,
+// peak resident tile words, sink time) but nil B, S and D. Sink calls
+// happen on a single goroutine in deterministic (RowLo, ColLo) order;
+// tiles are only valid during Emit. Streaming into CollectFull reproduces
+// Engine.Similarity byte for byte; TopK and Threshold keep the output
+// memory bounded by the reduction instead of n².
+func (e *Engine) Stream(ctx context.Context, ds Dataset, sink TileSink) (*Result, error) {
+	return e.core.Stream(ctx, ds, sink)
+}
+
+// Tile is one finalized rectangular block of the result matrices: rows
+// [RowLo, RowLo+Rows) × columns [ColLo, ColLo+Cols) of B, S and D in
+// row-major order. Tiles are only valid during the Emit call delivering
+// them.
+type Tile = core.Tile
+
+// TileSink consumes finalized tiles during Engine.Stream. Sinks may
+// optionally implement Start(n, names) and Flush() (see internal/tile's
+// Starter and Flusher), which the engine invokes around the tile sequence.
+type TileSink = core.TileSink
+
+// Pair is one upper-triangle sample pair (I < J) retained by a reducing
+// sink, with its Jaccard similarity.
+type Pair = tile.Pair
+
+// CollectSink reassembles streamed tiles into full dense matrices — the
+// streaming form of the legacy full gather.
+type CollectSink = tile.Collect
+
+// TopKSink retains the k most similar pairs in O(k) memory.
+type TopKSink = tile.TopKSink
+
+// ThresholdSink retains every pair at or above a similarity threshold.
+type ThresholdSink = tile.ThresholdSink
+
+// CollectFull returns a sink that reassembles the emitted tiles into full
+// B, S and D matrices, byte-identical to the ones Engine.Similarity
+// returns.
+func CollectFull() *CollectSink { return tile.NewCollect() }
+
+// TopK returns a sink retaining the k most similar sample pairs (i < j)
+// seen across all tiles, in O(k) memory. Ties are broken deterministically
+// by ascending (i, j).
+func TopK(k int) *TopKSink { return tile.NewTopK(k) }
+
+// Threshold returns a sink retaining every sample pair (i < j) whose
+// similarity is at least tau — the near-duplicate query where the
+// interesting output is far smaller than n².
+func Threshold(tau float64) *ThresholdSink { return tile.NewThreshold(tau) }
+
+// Discard drops every tile: the run (and its statistics) execute without
+// materialising any output — the streaming equivalent of SkipGather.
+var Discard TileSink = tile.Discard
+
+// SortPairs orders pairs by descending similarity, ties by ascending
+// (I, J) — the order the reducing sinks return and the order a post-hoc
+// full-matrix scan must apply to agree with them.
+func SortPairs(pairs []Pair) { tile.SortPairs(pairs) }

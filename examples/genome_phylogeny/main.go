@@ -8,11 +8,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	genomeatscale "genomeatscale"
+
 	"genomeatscale/internal/cluster"
-	"genomeatscale/internal/core"
 	"genomeatscale/internal/genome"
 	"genomeatscale/internal/minhash"
 )
@@ -45,8 +47,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := core.Options{BatchCount: 4, MaskBits: 64, Procs: 8, Replication: 2}
-	res, err := core.Compute(ds, opts)
+	engine, err := genomeatscale.NewEngine(
+		genomeatscale.WithProcs(8),
+		genomeatscale.WithBatches(4),
+		genomeatscale.WithReplication(2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.Similarity(context.Background(), ds)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,11 +25,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Run the distributed pipeline on 4 virtual BSP ranks, in 2 row batches.
-	opts := genomeatscale.DefaultOptions()
-	opts.Procs = 4
-	opts.BatchCount = 2
-	res, err := genomeatscale.Similarity(ds, opts)
+	// Build a reusable engine for the distributed pipeline: 4 virtual BSP
+	// ranks, 2 row batches. The engine validates once and can be called
+	// repeatedly (and cancelled via the context).
+	engine, err := genomeatscale.NewEngine(
+		genomeatscale.WithProcs(4),
+		genomeatscale.WithBatches(2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.Similarity(context.Background(), ds)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,4 +67,14 @@ func main() {
 		fmt.Printf("communication: %d supersteps, %d bytes across %d ranks\n",
 			res.Stats.Comm.Supersteps, res.Stats.Comm.TotalBytes, res.Stats.Comm.Procs)
 	}
+
+	// The same engine can stream instead of gathering: here only the single
+	// most similar pair is retained, in O(1) memory.
+	top := genomeatscale.TopK(1)
+	if _, err := engine.Stream(context.Background(), ds, top); err != nil {
+		log.Fatal(err)
+	}
+	best := top.Pairs()[0]
+	fmt.Printf("\nmost similar pair (streamed): %s ~ %s, J = %.3f\n",
+		res.Names[best.I], res.Names[best.J], best.Similarity)
 }

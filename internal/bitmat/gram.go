@@ -1,6 +1,7 @@
 package bitmat
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -132,13 +133,30 @@ func (p *Packed) GramAccumulate(into *sparse.Dense[int64]) {
 // Every cell dispatches through pairPopcount, so the kernel choice follows
 // the two columns' storage layouts.
 func (p *Packed) GramAccumulateWorkers(into *sparse.Dense[int64], workers int) {
+	p.gramAccumulate(nil, into, workers)
+}
+
+// GramAccumulateCtx is GramAccumulateWorkers with cooperative cancellation:
+// the tiled accumulation polls ctx between tiles and returns ctx.Err() once
+// cancelled, leaving `into` partially accumulated (callers abandon the run).
+// A cancellable context also routes the workers <= 1 case through the tile
+// loop — executed serially, in tile order — so even single-worker kernels
+// have interruption points; B is an int64 sum, so the accumulation order
+// does not change the result. A nil or never-cancellable context is exactly
+// GramAccumulateWorkers.
+func (p *Packed) GramAccumulateCtx(ctx context.Context, into *sparse.Dense[int64], workers int) error {
+	return p.gramAccumulate(ctx, into, workers)
+}
+
+func (p *Packed) gramAccumulate(ctx context.Context, into *sparse.Dense[int64], workers int) error {
 	if into.Rows != p.Cols || into.Cols != p.Cols {
 		panic(fmt.Sprintf("bitmat: Gram accumulator shape %dx%d, want %dx%d", into.Rows, into.Cols, p.Cols, p.Cols))
 	}
 	workers = par.Resolve(workers)
-	if workers <= 1 || p.Cols < 2 {
+	cancellable := ctx != nil && ctx.Done() != nil
+	if (workers <= 1 && !cancellable) || p.Cols < 2 {
 		p.gramAccumulateSerial(into)
-		return
+		return nil
 	}
 	edge := tileEdge(workers, func(e int) int {
 		nt := (p.Cols + e - 1) / e
@@ -152,7 +170,7 @@ func (p *Packed) GramAccumulateWorkers(into *sparse.Dense[int64], workers int) {
 		}
 	}
 	stride := into.Cols
-	par.ForEach(workers, len(tiles), func(k int) {
+	return par.ForEachCtx(ctx, workers, len(tiles), func(k int) {
 		t := tiles[k]
 		tw := t.j1 - t.j0
 		slab := make([]int64, (t.i1-t.i0)*tw)

@@ -1,6 +1,8 @@
 package bitmat
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"sort"
 	"sync"
@@ -192,4 +194,38 @@ func FuzzFromEntries(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestGramAccumulateCtx: an uncancelled context is exactly the plain
+// kernel (bit-identical for every workers value, including the serial
+// fast path); a cancelled one stops the accumulation and returns
+// ctx.Err() on both the serial and the tiled route.
+func TestGramAccumulateCtx(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	p := PackCSC(randomIndicator(rng, 300, 60, 0.1), 64)
+	want, seed := seededAccumulator(rng, 60)
+	p.GramAccumulate(want)
+
+	for _, workers := range []int{1, 4} {
+		got := seed.Clone()
+		if err := p.GramAccumulateCtx(context.Background(), got, workers); err != nil {
+			t.Fatal(err)
+		}
+		if !sparse.Equal(want, got, func(a, b int64) bool { return a == b }) {
+			t.Fatalf("workers=%d: ctx kernel differs from plain kernel", workers)
+		}
+		got = seed.Clone()
+		if err := p.GramAccumulateCtx(nil, got, workers); err != nil {
+			t.Fatal(err)
+		}
+		if !sparse.Equal(want, got, func(a, b int64) bool { return a == b }) {
+			t.Fatalf("workers=%d: nil-ctx kernel differs from plain kernel", workers)
+		}
+
+		cancelled, cancel := context.WithCancel(context.Background())
+		cancel()
+		if err := p.GramAccumulateCtx(cancelled, seed.Clone(), workers); !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: want context.Canceled, got %v", workers, err)
+		}
+	}
 }

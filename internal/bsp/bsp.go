@@ -17,6 +17,7 @@
 package bsp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -125,6 +126,7 @@ type runtime struct {
 type Proc struct {
 	rank int
 	rt   *runtime
+	ctx  context.Context
 
 	pending []Message // messages queued for the next Sync
 	inbox   []Message // messages delivered at the previous Sync
@@ -133,6 +135,12 @@ type Proc struct {
 
 // Rank returns this rank's id in [0, NProcs).
 func (p *Proc) Rank() int { return p.rank }
+
+// Ctx returns the context the run was started with (context.Background for
+// plain Run). Rank functions poll it between local compute phases; ranks
+// blocked at a superstep barrier are unwound by the runtime itself when the
+// context is cancelled.
+func (p *Proc) Ctx() context.Context { return p.ctx }
 
 // NProcs returns the number of virtual ranks in the run.
 func (p *Proc) NProcs() int { return p.rt.p }
@@ -301,8 +309,21 @@ func (p *Proc) nextCollectiveTag() int {
 // If any rank returns an error or panics, the run is aborted and the first
 // error is returned alongside the (partial) statistics.
 func Run(p int, fn func(*Proc) error) (*Stats, error) {
+	return RunCtx(context.Background(), p, fn)
+}
+
+// RunCtx is Run with cancellation: when ctx is cancelled the runtime aborts
+// the run — every rank blocked at a superstep barrier is woken immediately
+// and unwound, ranks in local compute phases observe the abort at their
+// next Sync (or sooner, via Proc.Ctx polling in the rank function) — all
+// rank goroutines are joined, and RunCtx returns ctx.Err() alongside the
+// partial statistics. No goroutines outlive the call.
+func RunCtx(ctx context.Context, p int, fn func(*Proc) error) (*Stats, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("bsp: number of ranks must be positive, got %d", p)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	rt := &runtime{
 		p:            p,
@@ -319,13 +340,26 @@ func Run(p int, fn func(*Proc) error) (*Stats, error) {
 		MemWordsPerRank:  make([]int64, p),
 	}
 
+	// The watcher turns context cancellation into a runtime abort, waking
+	// every rank parked at a barrier; it exits as soon as the ranks join.
+	watcherDone := make(chan struct{})
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				rt.abort(ctx.Err())
+			case <-watcherDone:
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	errs := make([]error, p)
 	for r := 0; r < p; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			proc := &Proc{rank: rank, rt: rt}
+			proc := &Proc{rank: rank, rt: rt, ctx: ctx}
 			defer rt.finish()
 			defer func() {
 				if rec := recover(); rec != nil {
@@ -345,13 +379,26 @@ func Run(p int, fn func(*Proc) error) (*Stats, error) {
 		}(r)
 	}
 	wg.Wait()
+	close(watcherDone)
+	// A primary rank error (anything a rank function returned or panicked
+	// itself, as opposed to the secondary abortError unwinding it triggered
+	// on its peers) always wins: it is the root cause, even when the
+	// context was also cancelled while the run unwound.
+	failed := false
 	for _, err := range errs {
 		if err != nil {
-			if _, isAbort := err.(abortError); isAbort {
-				continue
+			failed = true
+			if _, isAbort := err.(abortError); !isAbort {
+				return &rt.stats, err
 			}
-			return &rt.stats, err
 		}
+	}
+	if err := ctx.Err(); err != nil && failed {
+		// Only secondary abort errors remain: the cancellation itself tore
+		// the run down, so callers observe ctx.Err(). A cancellation that
+		// landed after every rank already completed did not abort any work
+		// and the finished run is returned as a success.
+		return &rt.stats, err
 	}
 	for _, err := range errs {
 		if err != nil {

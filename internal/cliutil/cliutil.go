@@ -1,0 +1,160 @@
+// Package cliutil holds the command-line plumbing shared by the cmd/
+// tools, so the engine-configuration flags are defined once — with one
+// canonical help text — instead of being copy-pasted (and drifting)
+// between commands, and so the matrix printing/writing helpers live in one
+// place.
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	genomeatscale "genomeatscale"
+	"genomeatscale/internal/core"
+	"genomeatscale/internal/output"
+	"genomeatscale/internal/sparse"
+)
+
+// NewFlagSet returns the flag set every CLI uses: ContinueOnError, so run
+// functions surface parse failures as ordinary errors.
+func NewFlagSet(name string) *flag.FlagSet {
+	return flag.NewFlagSet(name, flag.ContinueOnError)
+}
+
+// ComputeFlags binds the engine-configuration flags shared by the compute
+// CLIs (genomeatscale and similarityatscale): the execution layout, the
+// compression parameters, and the streaming reductions.
+type ComputeFlags struct {
+	Procs          *int
+	Batches        *int
+	MaskBits       *int
+	Replication    *int
+	Workers        *int
+	DenseThreshold *int
+	TileRows       *int
+	TopK           *int
+	Threshold      *float64
+}
+
+// BindCompute registers the shared flags on fs and returns their handles.
+func BindCompute(fs *flag.FlagSet) *ComputeFlags {
+	return &ComputeFlags{
+		Procs:          fs.Int("procs", 1, "number of virtual BSP ranks"),
+		Batches:        fs.Int("batches", 1, "number of row batches of the indicator matrix"),
+		MaskBits:       fs.Int("mask-bits", 64, "bitmask compression width b (1..64)"),
+		Replication:    fs.Int("replication", 1, "processor-grid replication factor c"),
+		Workers:        fs.Int("workers", 0, "shared-memory worker goroutines per process for the Gram kernel, packing and finalization (0 = one per CPU, 1 = serial)"),
+		DenseThreshold: fs.Int("dense-threshold", 0, "stored-word count at which a packed column is held as a dense slab (0 = auto ≈ ¼ of the word rows, negative = always sparse)"),
+		TileRows:       fs.Int("tile-rows", 0, "row-band height of streamed output tiles on the sequential path (0 = default)"),
+		TopK:           fs.Int("top-k", 0, "stream only the k most similar sample pairs instead of gathering the full matrix (0 = off)"),
+		Threshold:      fs.Float64("threshold", -1, "stream only the sample pairs with similarity at or above this value instead of gathering the full matrix (negative = off)"),
+	}
+}
+
+// Options assembles a core.Options from the bound flag values.
+func (f *ComputeFlags) Options() core.Options {
+	return core.Options{
+		BatchCount:     *f.Batches,
+		MaskBits:       *f.MaskBits,
+		Procs:          *f.Procs,
+		Replication:    *f.Replication,
+		Workers:        *f.Workers,
+		DenseThreshold: *f.DenseThreshold,
+		TileRows:       *f.TileRows,
+	}
+}
+
+// Engine builds a reusable engine from the bound flag values.
+func (f *ComputeFlags) Engine() (*genomeatscale.Engine, error) {
+	return genomeatscale.NewEngineFromOptions(f.Options())
+}
+
+// Streaming reports whether -top-k or -threshold requested a streaming
+// reduction instead of the gathered matrix.
+func (f *ComputeFlags) Streaming() bool { return *f.TopK > 0 || *f.Threshold >= 0 }
+
+// StreamPairs runs the engine in streaming mode according to the -top-k /
+// -threshold flags and returns the run result plus the retained pairs
+// (named, sorted by descending similarity) ready for output.WritePairs.
+// With both flags set, the top-k pairs are additionally filtered by the
+// threshold.
+func (f *ComputeFlags) StreamPairs(ctx context.Context, ds genomeatscale.Dataset) (*genomeatscale.Result, []output.Pair, error) {
+	e, err := f.Engine()
+	if err != nil {
+		return nil, nil, err
+	}
+	var res *genomeatscale.Result
+	var raw []genomeatscale.Pair
+	switch {
+	case *f.TopK > 0:
+		sink := genomeatscale.TopK(*f.TopK)
+		if res, err = e.Stream(ctx, ds, sink); err != nil {
+			return nil, nil, err
+		}
+		raw = sink.Pairs()
+		if tau := *f.Threshold; tau >= 0 {
+			kept := raw[:0]
+			for _, p := range raw {
+				if p.Similarity >= tau {
+					kept = append(kept, p)
+				}
+			}
+			raw = kept
+		}
+	case *f.Threshold >= 0:
+		sink := genomeatscale.Threshold(*f.Threshold)
+		if res, err = e.Stream(ctx, ds, sink); err != nil {
+			return nil, nil, err
+		}
+		raw = sink.Pairs()
+	default:
+		return nil, nil, fmt.Errorf("cliutil: StreamPairs without -top-k or -threshold")
+	}
+	pairs := make([]output.Pair, len(raw))
+	for i, p := range raw {
+		pairs[i] = output.Pair{
+			I: p.I, J: p.J,
+			NameI: res.Names[p.I], NameJ: res.Names[p.J],
+			Similarity: p.Similarity,
+		}
+	}
+	return res, pairs, nil
+}
+
+// WriteMatrixTSVFile writes a labelled square matrix as TSV to path.
+func WriteMatrixTSVFile(path string, names []string, m *sparse.Dense[float64]) error {
+	fl, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fl.Close()
+	return output.WriteTSV(fl, names, m)
+}
+
+// PrintMatrix pretty-prints a labelled square matrix with truncated row
+// and column headers.
+func PrintMatrix(w io.Writer, names []string, m *sparse.Dense[float64]) {
+	fmt.Fprintf(w, "\n%-20s", "")
+	for _, n := range names {
+		fmt.Fprintf(w, " %10s", Truncate(n, 10))
+	}
+	fmt.Fprintln(w)
+	for i, n := range names {
+		fmt.Fprintf(w, "%-20s", Truncate(n, 20))
+		for j := range names {
+			fmt.Fprintf(w, " %10.4f", m.At(i, j))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Truncate shortens s to at most n bytes.
+func Truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

@@ -1,0 +1,120 @@
+package cliutil
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	genomeatscale "genomeatscale"
+	"genomeatscale/internal/sparse"
+)
+
+func TestBindComputeDefaultsMatchPaper(t *testing.T) {
+	fs := NewFlagSet("test")
+	f := BindCompute(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	opts := f.Options()
+	def := genomeatscale.DefaultOptions()
+	def.Workers = 0
+	if opts.BatchCount != def.BatchCount || opts.MaskBits != def.MaskBits ||
+		opts.Procs != def.Procs || opts.Replication != def.Replication {
+		t.Errorf("flag defaults %+v diverge from DefaultOptions %+v", opts, def)
+	}
+	if f.Streaming() {
+		t.Error("defaults must not select streaming mode")
+	}
+	if _, err := f.Engine(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamPairsTopKAndThreshold(t *testing.T) {
+	fs := NewFlagSet("test")
+	f := BindCompute(fs)
+	if err := fs.Parse([]string{"-top-k", "2", "-procs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := genomeatscale.NewDataset(
+		[]string{"a", "b", "c"},
+		[][]uint64{{1, 2, 3, 4}, {1, 2, 3, 5}, {50, 51}},
+		100,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, pairs, err := f.StreamPairs(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.S != nil {
+		t.Error("streaming run must not gather S")
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("got %d pairs, want 2", len(pairs))
+	}
+	if pairs[0].NameI != "a" || pairs[0].NameJ != "b" {
+		t.Errorf("best pair should be (a, b), got (%s, %s)", pairs[0].NameI, pairs[0].NameJ)
+	}
+	if pairs[0].Similarity < pairs[1].Similarity {
+		t.Error("pairs must be sorted by descending similarity")
+	}
+
+	// Adding a threshold on top of -top-k filters the retained pairs.
+	fs2 := NewFlagSet("test")
+	f2 := BindCompute(fs2)
+	if err := fs2.Parse([]string{"-top-k", "3", "-threshold", "0.5"}); err != nil {
+		t.Fatal(err)
+	}
+	_, pairs2, err := f2.StreamPairs(context.Background(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs2 {
+		if p.Similarity < 0.5 {
+			t.Errorf("pair %+v below threshold", p)
+		}
+	}
+
+	// StreamPairs without a streaming flag is a usage error.
+	fs3 := NewFlagSet("test")
+	f3 := BindCompute(fs3)
+	if err := fs3.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f3.StreamPairs(context.Background(), ds); err == nil {
+		t.Error("StreamPairs without -top-k/-threshold must error")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if Truncate("abcdef", 3) != "abc" {
+		t.Error("Truncate wrong")
+	}
+	if Truncate("ab", 3) != "ab" {
+		t.Error("Truncate of short string wrong")
+	}
+}
+
+func TestWriteMatrixTSVFileError(t *testing.T) {
+	err := WriteMatrixTSVFile(filepath.Join(t.TempDir(), "missing-dir", "x.tsv"), nil, nil)
+	if err == nil {
+		t.Error("unwritable path should error")
+	}
+}
+
+func TestPrintMatrix(t *testing.T) {
+	m := sparse.NewDense[float64](2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 0.5)
+	m.Set(1, 0, 0.5)
+	m.Set(1, 1, 1)
+	var buf bytes.Buffer
+	PrintMatrix(&buf, []string{"alpha", "beta"}, m)
+	if !strings.Contains(buf.String(), "0.5000") {
+		t.Errorf("printed matrix missing values:\n%s", buf.String())
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"genomeatscale/internal/bitmat"
@@ -24,13 +25,11 @@ import (
 // who accumulates the Gram contribution (a local dense accumulator versus
 // the processor-grid engine in internal/dist).
 
-// validateRun is the shared input guard of both execution modes: option
-// consistency plus the attribute-universe bound (row indices must fit the
-// int64 arithmetic of the filter and prefix-sum machinery).
-func validateRun(ds Dataset, opts Options) error {
-	if err := opts.Validate(); err != nil {
-		return err
-	}
+// validateDataset is the shared input guard of both execution modes: the
+// attribute-universe bound (row indices must fit the int64 arithmetic of
+// the filter and prefix-sum machinery). Option consistency is checked once,
+// in NewEngine.
+func validateDataset(ds Dataset) error {
 	if m := ds.NumAttributes(); m > uint64(1)<<62 {
 		return fmt.Errorf("core: attribute universe %d exceeds 2^62; remap attributes to a smaller universe", m)
 	}
@@ -74,12 +73,19 @@ func sliceBatch(ds Dataset, cols []int, lo, hi uint64) ([]batchColumn, []int64) 
 // shared worker pool and the per-column slices concatenated in column
 // order — the emitted coordinate sequence is identical for every workers
 // value; with one worker the columns append into a single slice with no
-// intermediate allocation, exactly the historical serial path.
-func packBatch(columns []batchColumn, nonzero []int64, lo uint64, maskBits, workers int) ([]bitmat.PackedEntry, error) {
+// intermediate allocation, exactly the historical serial path. Both paths
+// poll ctx between columns, so a cancelled run abandons the pack mid-batch
+// and returns ctx.Err().
+func packBatch(ctx context.Context, columns []batchColumn, nonzero []int64, lo uint64, maskBits, workers int) ([]bitmat.PackedEntry, error) {
 	if par.Resolve(workers) <= 1 || len(columns) <= 1 {
 		var entries []bitmat.PackedEntry
 		var err error
 		for _, cr := range columns {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if entries, err = packColumnInto(entries, cr, nonzero, lo, maskBits); err != nil {
 				return nil, err
 			}
@@ -88,9 +94,11 @@ func packBatch(columns []batchColumn, nonzero []int64, lo uint64, maskBits, work
 	}
 	perCol := make([][]bitmat.PackedEntry, len(columns))
 	errs := make([]error, len(columns))
-	par.ForEach(workers, len(columns), func(k int) {
+	if err := par.ForEachCtx(ctx, workers, len(columns), func(k int) {
 		perCol[k], errs[k] = packColumnInto(nil, columns[k], nonzero, lo, maskBits)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	total := 0
 	for k := range columns {
 		if errs[k] != nil {

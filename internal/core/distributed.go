@@ -1,119 +1,17 @@
 package core
 
-import (
-	"fmt"
-	"runtime"
-	"time"
+import "context"
 
-	"genomeatscale/internal/bsp"
-	"genomeatscale/internal/dist"
-)
-
-// Compute runs the fully distributed SimilarityAtScale pipeline on
-// opts.Procs virtual BSP ranks arranged as a √(p/c) × √(p/c) × c processor
-// grid with c = opts.Replication. The structure follows Listing 1 of the
-// paper:
-//
-//	for each batch A(l):
-//	    each rank reads its (cyclically owned) samples' values in the batch
-//	    the distributed filter vector f(l) marks non-empty rows        (Eq. 5)
-//	    the replicated prefix sum maps rows to compacted positions      (Eq. 6)
-//	    row segments are packed into MaskBits-wide words                (Â(l))
-//	    the processor grid computes and accumulates Â(l)ᵀÂ(l)           (Eq. 7)
-//	â is accumulated per rank and combined once at the end              (Eq. 4)
-//	S and D are derived blockwise and optionally gathered at rank 0     (Eq. 2)
-//
-// The per-batch stage (sliceBatch → filter → packBatch) is the same code
-// the sequential path runs; only the filter exchange and the Gram
-// accumulation differ. All communication flows through the BSP runtime, so
-// Result.Stats.Comm reports the exact per-superstep byte volumes of the
-// run.
+// Compute runs the fully distributed SimilarityAtScale pipeline with the
+// legacy one-shot semantics: a throwaway engine is built for opts, the run
+// executes on opts.Procs virtual BSP ranks (even for Procs == 1), and the
+// full matrices are assembled at rank 0 unless opts.SkipGather is set. New
+// code that runs more than once, needs cancellation or wants streaming
+// output should hold an Engine.
 func Compute(ds Dataset, opts Options) (*Result, error) {
-	if err := validateRun(ds, opts); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	n := ds.NumSamples()
-	if n == 0 {
-		return nil, fmt.Errorf("core: dataset has no samples")
-	}
-	m := ds.NumAttributes()
-
-	res := &Result{N: n, Names: sampleNames(ds)}
-	res.Stats.IndicatorNonzeros = TotalNonzeros(ds)
-
-	// All Procs virtual ranks share this machine, so the default Workers: 0
-	// resolves to a fair share of the CPUs per rank rather than a full
-	// GOMAXPROCS pool per rank (which would oversubscribe the machine
-	// Procs-fold). An explicit Workers value is taken as given.
-	workers := opts.Workers
-	if workers == 0 {
-		if workers = runtime.GOMAXPROCS(0) / opts.Procs; workers < 1 {
-			workers = 1
-		}
-	}
-
-	commStats, err := bsp.Run(opts.Procs, func(p *bsp.Proc) error {
-		ctx := dist.NewContext(p, opts.Replication)
-		engine := dist.NewGramEngine(ctx, n, workers, opts.DenseThreshold)
-
-		owned := ctx.OwnedSamples(n)
-		localCounts := make([]int64, n)
-		for _, j := range owned {
-			localCounts[j] = int64(len(ds.Sample(j)))
-		}
-
-		for l := 0; l < opts.BatchCount; l++ {
-			batchStart := time.Now()
-			lo, hi := batchBounds(m, opts.BatchCount, l)
-
-			// Shared batch stage over the owned samples only; the filter
-			// vector exchange replicates the global nonzero set (Eq. 5, 6).
-			columns, localRows := sliceBatch(ds, owned, lo, hi)
-			length := int64(hi) - int64(lo)
-			if length <= 0 {
-				length = 1
-			}
-			filter := dist.NewFilterVector(ctx, length)
-			filter.Write(localRows)
-			nonzero := filter.Replicate()
-			active := len(nonzero)
-
-			entries, err := packBatch(columns, nonzero, lo, opts.MaskBits, workers)
-			if err != nil {
-				return fmt.Errorf("batch %d: %w", l, err)
-			}
-			engine.AddBatch(entries, wordRowsFor(active, opts.MaskBits), opts.MaskBits, active)
-
-			if p.Rank() == 0 {
-				res.Stats.Batches++
-				res.Stats.BatchSeconds = append(res.Stats.BatchSeconds, time.Since(batchStart).Seconds())
-				res.Stats.ActiveRowsPerBatch = append(res.Stats.ActiveRowsPerBatch, int64(active))
-			}
-		}
-
-		// Combine the per-sample cardinalities. Each sample is owned by
-		// exactly one rank, so an elementwise sum assembles â.
-		counts := bsp.AllReduceSlice(p, localCounts, func(a, b int64) int64 { return a + b })
-		blocks := engine.Finalize(counts)
-
-		if p.Rank() == 0 {
-			res.Cardinalities = counts
-		}
-		if !opts.SkipGather {
-			b := blocks.GatherB(0)
-			s := blocks.GatherS(0)
-			d := blocks.GatherD(0)
-			if p.Rank() == 0 {
-				res.B, res.S, res.D = b, s, d
-			}
-		}
-		return nil
-	})
+	e, err := NewEngine(opts)
 	if err != nil {
 		return nil, err
 	}
-	res.Stats.Comm = commStats
-	res.Stats.TotalSeconds = time.Since(start).Seconds()
-	return res, nil
+	return e.computeDist(context.Background(), ds, nil)
 }

@@ -1,0 +1,397 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"genomeatscale/internal/bitmat"
+	"genomeatscale/internal/bsp"
+	"genomeatscale/internal/dist"
+	"genomeatscale/internal/grid"
+	"genomeatscale/internal/par"
+	"genomeatscale/internal/sparse"
+	"genomeatscale/internal/tile"
+)
+
+// Tile is one finalized block of the result matrices, the unit of
+// streaming output (see internal/tile).
+type Tile = tile.Tile
+
+// TileSink consumes finalized tiles during an Engine.Stream run.
+type TileSink = tile.Sink
+
+// Engine is a reusable, validated SimilarityAtScale configuration. The
+// per-run fixed decisions — option validation, the √(p/c) × √(p/c) × c
+// processor-grid layout, and the shared-memory worker-pool sizing for both
+// execution paths — are made once at construction and amortised across
+// calls; Similarity and Stream are then safe to invoke repeatedly and
+// concurrently from multiple goroutines (the engine itself is immutable).
+//
+// Both entry points honour context cancellation: the batch loop, the
+// per-column pack stage and the BSP superstep barriers all observe ctx, so
+// a cancelled run returns ctx.Err() promptly with every worker and rank
+// goroutine joined.
+type Engine struct {
+	opts Options
+	grid grid.Grid // processor grid of the distributed path, chosen once
+
+	seqWorkers  int // resolved pool size of the sequential path
+	distWorkers int // resolved per-rank pool size of the distributed path
+	tileRows    int // resolved sequential streaming tile height
+}
+
+// NewEngine validates opts and builds a reusable engine for it.
+func NewEngine(opts Options) (*Engine, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opts:       opts,
+		grid:       grid.Choose(opts.Procs, opts.Replication),
+		seqWorkers: par.Resolve(opts.Workers),
+		tileRows:   opts.TileRows,
+	}
+	// All Procs virtual ranks share this machine, so the default Workers: 0
+	// resolves to a fair share of the CPUs per rank rather than a full
+	// GOMAXPROCS pool per rank (which would oversubscribe the machine
+	// Procs-fold). An explicit Workers value is taken as given.
+	e.distWorkers = opts.Workers
+	if e.distWorkers == 0 {
+		if e.distWorkers = runtime.GOMAXPROCS(0) / opts.Procs; e.distWorkers < 1 {
+			e.distWorkers = 1
+		}
+	}
+	if e.tileRows == 0 {
+		e.tileRows = DefaultTileRows
+	}
+	return e, nil
+}
+
+// Options returns the configuration the engine was built with.
+func (e *Engine) Options() Options { return e.opts }
+
+// Similarity runs the pipeline with the legacy gathered-output semantics:
+// the full B, S and D matrices are assembled (at rank 0 for the
+// distributed path) unless Options.SkipGather is set. With Procs == 1 it
+// uses the sequential algebraic pipeline; otherwise the fully distributed
+// pipeline over the in-process BSP runtime.
+func (e *Engine) Similarity(ctx context.Context, ds Dataset) (*Result, error) {
+	if e.opts.Procs > 1 {
+		return e.computeDist(ctx, ds, nil)
+	}
+	return e.computeSeq(ctx, ds, nil)
+}
+
+// Stream runs the pipeline and delivers the result to sink as a sequence
+// of finalized tiles instead of assembling the n×n matrices: the returned
+// Result carries cardinalities and run statistics (including the streaming
+// counters) but nil B, S and D. The sequential path emits row bands of
+// Options.TileRows rows; the distributed path emits each processor-grid
+// result block as soon as rank 0 receives it. Sink calls happen on a
+// single goroutine in deterministic (RowLo, ColLo) order; a sink error
+// aborts the run and is returned.
+func (e *Engine) Stream(ctx context.Context, ds Dataset, sink TileSink) (*Result, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("core: Stream requires a sink (use tile.Discard to drop the output)")
+	}
+	if e.opts.Procs > 1 {
+		return e.computeDist(ctx, ds, sink)
+	}
+	return e.computeSeq(ctx, ds, sink)
+}
+
+// sinkRunner funnels every sink interaction through one place so the run
+// statistics (tiles emitted, peak tile words, time spent in the consumer)
+// are recorded uniformly on both execution paths.
+type sinkRunner struct {
+	sink  TileSink
+	stats *RunStats
+}
+
+func (sr *sinkRunner) start(n int, names []string) error {
+	t0 := time.Now()
+	err := tile.Start(sr.sink, n, names)
+	sr.stats.SinkSeconds += time.Since(t0).Seconds()
+	return err
+}
+
+func (sr *sinkRunner) emit(t *Tile) error {
+	t0 := time.Now()
+	err := sr.sink.Emit(t)
+	sr.stats.SinkSeconds += time.Since(t0).Seconds()
+	if err != nil {
+		return err
+	}
+	sr.stats.TilesEmitted++
+	if w := t.Words(); w > sr.stats.PeakTileWords {
+		sr.stats.PeakTileWords = w
+	}
+	return nil
+}
+
+func (sr *sinkRunner) flush() error {
+	t0 := time.Now()
+	err := tile.Flush(sr.sink)
+	sr.stats.SinkSeconds += time.Since(t0).Seconds()
+	return err
+}
+
+// computeSeq is the single-process pipeline: the indicator matrix is
+// processed in BatchCount row batches; each batch filters out empty rows,
+// compresses the surviving rows into MaskBits-wide masks, and accumulates
+// its Gram contribution into B with the popcount kernel (Listing 1 of the
+// paper, without the distribution). It runs the same batch stage
+// (sliceBatch → filter → packBatch) as the distributed path — every sample
+// is visible, so the filter needs no exchange. With sink == nil the
+// output is finalized into full matrices (legacy semantics); otherwise it
+// is derived band by band and streamed.
+func (e *Engine) computeSeq(ctx context.Context, ds Dataset, sink TileSink) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := validateDataset(ds); err != nil {
+		return nil, err
+	}
+	opts := e.opts
+	start := time.Now()
+	n := ds.NumSamples()
+	m := ds.NumAttributes()
+	workers := e.seqWorkers
+
+	res := &Result{
+		N:             n,
+		Names:         sampleNames(ds),
+		Cardinalities: make([]int64, n),
+	}
+	b := sparse.NewDense[int64](n, n)
+
+	allCols := make([]int, n)
+	for i := 0; i < n; i++ {
+		allCols[i] = i
+		res.Cardinalities[i] = int64(len(ds.Sample(i)))
+		res.Stats.IndicatorNonzeros += int64(len(ds.Sample(i)))
+	}
+
+	for l := 0; l < opts.BatchCount; l++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		batchStart := time.Now()
+		lo, hi := batchBounds(m, opts.BatchCount, l)
+
+		// Shared batch stage: slice, filter (Eq. 5), compact and pack
+		// (Eq. 6, Section III-B). A single process observes every write, so
+		// dist.Compact of the local rows is the whole filter vector.
+		columns, localRows := sliceBatch(ds, allCols, lo, hi)
+		nonzero := dist.Compact(localRows)
+		active := len(nonzero)
+		entries, err := packBatch(ctx, columns, nonzero, lo, opts.MaskBits, workers)
+		if err != nil {
+			return nil, err
+		}
+		packed := bitmat.FromEntriesThreshold(entries, wordRowsFor(active, opts.MaskBits), n, opts.MaskBits, active, opts.DenseThreshold)
+		if err := packed.GramAccumulateCtx(ctx, b, workers); err != nil {
+			return nil, err
+		}
+
+		res.Stats.Batches++
+		res.Stats.BatchSeconds = append(res.Stats.BatchSeconds, time.Since(batchStart).Seconds())
+		res.Stats.ActiveRowsPerBatch = append(res.Stats.ActiveRowsPerBatch, int64(active))
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	if sink != nil {
+		if err := e.streamSeq(ctx, res, b, sink); err != nil {
+			return nil, err
+		}
+	} else if err := finalize(ctx, res, b, opts.SkipGather, workers); err != nil {
+		return nil, err
+	}
+	res.Stats.TotalSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// streamSeq derives S and D from the accumulated B band by band (Eq. 2)
+// and emits each band as one full-width tile. The scratch buffers are
+// reused across bands, so the resident derived output never exceeds one
+// tile; B itself stays resident (the sequential path accumulates it
+// densely). The per-row derivation matches the legacy finalize bit for bit:
+// B is exactly symmetric and the Eq. 2 scalar is symmetric in (i, j), so
+// deriving every (i, j) directly equals deriving the upper triangle and
+// mirroring.
+func (e *Engine) streamSeq(ctx context.Context, res *Result, b *sparse.Dense[int64], sink TileSink) error {
+	n := res.N
+	sr := &sinkRunner{sink: sink, stats: &res.Stats}
+	if err := sr.start(n, res.Names); err != nil {
+		return err
+	}
+	tr := e.tileRows
+	if tr > n {
+		tr = n
+	}
+	sbuf := make([]float64, tr*n)
+	dbuf := make([]float64, tr*n)
+	for lo := 0; lo < n; lo += tr {
+		hi := lo + tr
+		if hi > n {
+			hi = n
+		}
+		rows := hi - lo
+		err := par.ForEachCtx(ctx, e.seqWorkers, rows, func(i int) {
+			gi := lo + i
+			brow := b.Row(gi)
+			srow := sbuf[i*n : (i+1)*n]
+			drow := dbuf[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				s := dist.Jaccard(brow[j], res.Cardinalities[gi], res.Cardinalities[j])
+				srow[j] = s
+				drow[j] = 1 - s
+			}
+		})
+		if err != nil {
+			return err
+		}
+		t := &Tile{
+			RowLo: lo, ColLo: 0, Rows: rows, Cols: n,
+			B: b.Data[lo*n : hi*n], S: sbuf[:rows*n], D: dbuf[:rows*n],
+		}
+		if err := sr.emit(t); err != nil {
+			return err
+		}
+	}
+	return sr.flush()
+}
+
+// computeDist runs the fully distributed pipeline on opts.Procs virtual
+// BSP ranks arranged as the engine's processor grid. The structure follows
+// Listing 1 of the paper:
+//
+//	for each batch A(l):
+//	    each rank reads its (cyclically owned) samples' values in the batch
+//	    the distributed filter vector f(l) marks non-empty rows        (Eq. 5)
+//	    the replicated prefix sum maps rows to compacted positions      (Eq. 6)
+//	    row segments are packed into MaskBits-wide words                (Â(l))
+//	    the processor grid computes and accumulates Â(l)ᵀÂ(l)           (Eq. 7)
+//	â is accumulated per rank and combined once at the end              (Eq. 4)
+//	S and D are derived blockwise and emitted per tile at rank 0        (Eq. 2)
+//
+// The per-batch stage (sliceBatch → filter → packBatch) is the same code
+// the sequential path runs; only the filter exchange and the Gram
+// accumulation differ. All communication flows through the BSP runtime, so
+// Result.Stats.Comm reports the exact per-superstep byte volumes of the
+// run. The result blocks are never assembled into full matrices inside the
+// run: with sink == nil (legacy gather) the per-tile emission drives a
+// collecting sink whose matrices become Result.B/S/D, with SkipGather the
+// emission is skipped entirely, and with a user sink the tiles go straight
+// to it.
+func (e *Engine) computeDist(ctx context.Context, ds Dataset, sink TileSink) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := validateDataset(ds); err != nil {
+		return nil, err
+	}
+	opts := e.opts
+	start := time.Now()
+	n := ds.NumSamples()
+	if n == 0 {
+		return nil, fmt.Errorf("core: dataset has no samples")
+	}
+	m := ds.NumAttributes()
+
+	res := &Result{N: n, Names: sampleNames(ds)}
+	res.Stats.IndicatorNonzeros = TotalNonzeros(ds)
+	workers := e.distWorkers
+
+	var collect *tile.Collect
+	emitSink := sink
+	if sink == nil && !opts.SkipGather {
+		collect = tile.NewCollect()
+		emitSink = collect
+	}
+
+	commStats, err := bsp.RunCtx(ctx, opts.Procs, func(p *bsp.Proc) error {
+		dctx := dist.NewContextWithGrid(p, e.grid)
+		engine := dist.NewGramEngine(dctx, n, workers, opts.DenseThreshold)
+
+		owned := dctx.OwnedSamples(n)
+		localCounts := make([]int64, n)
+		for _, j := range owned {
+			localCounts[j] = int64(len(ds.Sample(j)))
+		}
+
+		for l := 0; l < opts.BatchCount; l++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			batchStart := time.Now()
+			lo, hi := batchBounds(m, opts.BatchCount, l)
+
+			// Shared batch stage over the owned samples only; the filter
+			// vector exchange replicates the global nonzero set (Eq. 5, 6).
+			columns, localRows := sliceBatch(ds, owned, lo, hi)
+			length := int64(hi) - int64(lo)
+			if length <= 0 {
+				length = 1
+			}
+			filter := dist.NewFilterVector(dctx, length)
+			filter.Write(localRows)
+			nonzero := filter.Replicate()
+			active := len(nonzero)
+
+			entries, err := packBatch(ctx, columns, nonzero, lo, opts.MaskBits, workers)
+			if err != nil {
+				return fmt.Errorf("batch %d: %w", l, err)
+			}
+			engine.AddBatch(entries, wordRowsFor(active, opts.MaskBits), opts.MaskBits, active)
+
+			if p.Rank() == 0 {
+				res.Stats.Batches++
+				res.Stats.BatchSeconds = append(res.Stats.BatchSeconds, time.Since(batchStart).Seconds())
+				res.Stats.ActiveRowsPerBatch = append(res.Stats.ActiveRowsPerBatch, int64(active))
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+
+		// Combine the per-sample cardinalities. Each sample is owned by
+		// exactly one rank, so an elementwise sum assembles â.
+		counts := bsp.AllReduceSlice(p, localCounts, func(a, b int64) int64 { return a + b })
+		blocks := engine.Finalize(counts)
+
+		if p.Rank() == 0 {
+			res.Cardinalities = counts
+		}
+		if emitSink != nil {
+			sr := &sinkRunner{sink: emitSink, stats: &res.Stats}
+			if p.Rank() == 0 {
+				if err := sr.start(n, res.Names); err != nil {
+					return err
+				}
+			}
+			if err := blocks.EmitTiles(0, sr.emit); err != nil {
+				return err
+			}
+			if p.Rank() == 0 {
+				if err := sr.flush(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if collect != nil {
+		res.B, res.S, res.D = collect.B(), collect.S(), collect.D()
+	}
+	res.Stats.Comm = commStats
+	res.Stats.TotalSeconds = time.Since(start).Seconds()
+	return res, nil
+}

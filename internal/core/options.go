@@ -57,9 +57,24 @@ type Options struct {
 
 	// SkipGather, when true, leaves the similarity matrix distributed and
 	// does not assemble a full copy at rank 0. Use for large n where only
-	// timing/communication statistics are of interest.
+	// timing/communication statistics are of interest. Under the Engine API
+	// this is the degenerate streaming case: Engine.Stream with a discarding
+	// sink computes the same run without materialising output, and the full
+	// gather is Engine.Stream with a collecting sink.
 	SkipGather bool
+
+	// TileRows is the row-band height of the tiles the sequential path emits
+	// when streaming through Engine.Stream: the n-column output is derived
+	// and handed to the sink TileRows rows at a time, so the peak resident
+	// S/D footprint is TileRows·n values instead of n². 0 (the default)
+	// resolves to DefaultTileRows. The distributed path ignores TileRows —
+	// its tiles are the processor grid's result blocks.
+	TileRows int
 }
+
+// DefaultTileRows is the sequential streaming tile height used when
+// Options.TileRows is 0.
+const DefaultTileRows = 256
 
 // DefaultOptions returns options matching the paper's defaults: 64-bit
 // masks, a single batch, one process, no replication, and shared-memory
@@ -85,6 +100,9 @@ func (o Options) Validate() error {
 	if o.Workers < 0 {
 		return fmt.Errorf("core: Workers must be non-negative (0 = all CPUs), got %d", o.Workers)
 	}
+	if o.TileRows < 0 {
+		return fmt.Errorf("core: TileRows must be non-negative (0 = default %d), got %d", DefaultTileRows, o.TileRows)
+	}
 	return nil
 }
 
@@ -105,6 +123,20 @@ type RunStats struct {
 	// Comm holds the BSP communication statistics of the distributed path
 	// (nil for the sequential path).
 	Comm *bsp.Stats
+
+	// TilesEmitted counts the finalized tiles delivered to the run's sink:
+	// streaming runs on both paths, and distributed legacy gathers (which
+	// drive the same per-tile emission into a collecting sink). 0 when no
+	// output was produced — including the sequential legacy path, whose
+	// direct full-matrix finalize emits no tiles.
+	TilesEmitted int
+	// PeakTileWords is the largest single tile delivered to the sink, in
+	// 64-bit words across its B, S and D blocks — the peak resident output
+	// footprint of a memory-bounded streaming run.
+	PeakTileWords int64
+	// SinkSeconds is the wall-clock time spent inside the sink's Start,
+	// Emit and Flush calls, so slow consumers are visible in the run stats.
+	SinkSeconds float64
 }
 
 // Result is the output of a SimilarityAtScale run.
@@ -115,11 +147,13 @@ type Result struct {
 	Names []string
 	// Cardinalities holds |X_i| for every sample (â in Eq. 4).
 	Cardinalities []int64
-	// B is the intersection-cardinality matrix (nil if SkipGather).
+	// B is the intersection-cardinality matrix (nil if SkipGather or when
+	// the run streamed its output through a sink instead of gathering).
 	B *sparse.Dense[int64]
-	// S is the Jaccard similarity matrix (nil if SkipGather).
+	// S is the Jaccard similarity matrix (nil if SkipGather or streaming).
 	S *sparse.Dense[float64]
-	// D is the Jaccard distance matrix, D = 1 − S (nil if SkipGather).
+	// D is the Jaccard distance matrix, D = 1 − S (nil if SkipGather or
+	// streaming).
 	D *sparse.Dense[float64]
 	// Stats holds run measurements.
 	Stats RunStats
@@ -128,7 +162,7 @@ type Result struct {
 // Similarity returns S[i][j]; it panics if the matrices were not gathered.
 func (r *Result) Similarity(i, j int) float64 {
 	if r.S == nil {
-		panic("core: similarity matrix was not gathered (SkipGather set)")
+		panic("core: similarity matrix was not gathered (SkipGather set or streaming run)")
 	}
 	return r.S.At(i, j)
 }
@@ -136,7 +170,7 @@ func (r *Result) Similarity(i, j int) float64 {
 // Distance returns D[i][j]; it panics if the matrices were not gathered.
 func (r *Result) Distance(i, j int) float64 {
 	if r.D == nil {
-		panic("core: distance matrix was not gathered (SkipGather set)")
+		panic("core: distance matrix was not gathered (SkipGather set or streaming run)")
 	}
 	return r.D.At(i, j)
 }

@@ -1,72 +1,25 @@
 package core
 
 import (
-	"time"
+	"context"
 
-	"genomeatscale/internal/bitmat"
 	"genomeatscale/internal/dist"
 	"genomeatscale/internal/par"
 	"genomeatscale/internal/sparse"
 )
 
 // ComputeSequential runs the SimilarityAtScale pipeline on a single
-// process: the indicator matrix is processed in BatchCount row batches;
-// each batch filters out empty rows, compresses the surviving rows into
-// MaskBits-wide masks, and accumulates its Gram contribution into B with
-// the popcount kernel (Listing 1 of the paper, without the distribution).
-// It runs the same batch stage (sliceBatch → filter → packBatch) as the
-// distributed path — every sample is visible, so the filter needs no
-// exchange — and serves both as the single-node execution mode of
-// GenomeAtScale and as the reference the distributed path is verified
-// against.
+// process with the legacy one-shot semantics: a throwaway engine is built
+// for opts and the full matrices are assembled. It serves both as the
+// single-node execution mode of GenomeAtScale and as the reference the
+// distributed path is verified against. New code that runs more than once,
+// needs cancellation or wants streaming output should hold an Engine.
 func ComputeSequential(ds Dataset, opts Options) (*Result, error) {
-	if err := validateRun(ds, opts); err != nil {
+	e, err := NewEngine(opts)
+	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	n := ds.NumSamples()
-	m := ds.NumAttributes()
-	workers := par.Resolve(opts.Workers)
-
-	res := &Result{
-		N:             n,
-		Names:         sampleNames(ds),
-		Cardinalities: make([]int64, n),
-	}
-	b := sparse.NewDense[int64](n, n)
-
-	allCols := make([]int, n)
-	for i := 0; i < n; i++ {
-		allCols[i] = i
-		res.Cardinalities[i] = int64(len(ds.Sample(i)))
-		res.Stats.IndicatorNonzeros += int64(len(ds.Sample(i)))
-	}
-
-	for l := 0; l < opts.BatchCount; l++ {
-		batchStart := time.Now()
-		lo, hi := batchBounds(m, opts.BatchCount, l)
-
-		// Shared batch stage: slice, filter (Eq. 5), compact and pack
-		// (Eq. 6, Section III-B). A single process observes every write, so
-		// dist.Compact of the local rows is the whole filter vector.
-		columns, localRows := sliceBatch(ds, allCols, lo, hi)
-		nonzero := dist.Compact(localRows)
-		active := len(nonzero)
-		entries, err := packBatch(columns, nonzero, lo, opts.MaskBits, workers)
-		if err != nil {
-			return nil, err
-		}
-		packed := bitmat.FromEntriesThreshold(entries, wordRowsFor(active, opts.MaskBits), n, opts.MaskBits, active, opts.DenseThreshold)
-		packed.GramAccumulateWorkers(b, workers)
-
-		res.Stats.Batches++
-		res.Stats.BatchSeconds = append(res.Stats.BatchSeconds, time.Since(batchStart).Seconds())
-		res.Stats.ActiveRowsPerBatch = append(res.Stats.ActiveRowsPerBatch, int64(active))
-	}
-
-	finalize(res, b, opts.SkipGather, workers)
-	res.Stats.TotalSeconds = time.Since(start).Seconds()
-	return res, nil
+	return e.computeSeq(context.Background(), ds, nil)
 }
 
 // finalize derives S and D from B and the per-sample cardinalities through
@@ -77,16 +30,18 @@ func ComputeSequential(ds Dataset, opts Options) (*Result, error) {
 // evaluations. Both passes are row-parallel on the worker pool with
 // disjoint writes (each row of S and D is owned by exactly one index; the
 // mirror pass only reads rows j < i, fully written before the pool joined),
-// so the result is identical for every workers value.
-func finalize(res *Result, b *sparse.Dense[int64], skipGather bool, workers int) {
+// so the result is identical for every workers value. Both passes poll ctx
+// per row, so a cancelled run abandons the O(n²) derivation and returns
+// ctx.Err() (the partially filled matrices are dropped by the caller).
+func finalize(ctx context.Context, res *Result, b *sparse.Dense[int64], skipGather bool, workers int) error {
 	if skipGather {
-		return
+		return nil
 	}
 	n := res.N
 	res.B = b
 	res.S = sparse.NewDense[float64](n, n)
 	res.D = sparse.NewDense[float64](n, n)
-	par.ForEach(workers, n, func(i int) {
+	if err := par.ForEachCtx(ctx, workers, n, func(i int) {
 		brow := b.Row(i)
 		srow := res.S.Row(i)
 		drow := res.D.Row(i)
@@ -95,8 +50,10 @@ func finalize(res *Result, b *sparse.Dense[int64], skipGather bool, workers int)
 			srow[j] = s
 			drow[j] = 1 - s
 		}
-	})
-	par.ForEach(workers, n, func(i int) {
+	}); err != nil {
+		return err
+	}
+	return par.ForEachCtx(ctx, workers, n, func(i int) {
 		srow := res.S.Row(i)
 		drow := res.D.Row(i)
 		for j := 0; j < i; j++ {

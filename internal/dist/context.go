@@ -35,7 +35,14 @@ type Context struct {
 // requested replication factor (clamped by grid.Choose so every rank is
 // used) and locates this rank in it.
 func NewContext(p *bsp.Proc, replication int) *Context {
-	g := grid.Choose(p.NProcs(), replication)
+	return NewContextWithGrid(p, grid.Choose(p.NProcs(), replication))
+}
+
+// NewContextWithGrid binds a rank to a pre-chosen grid. The reusable engine
+// in internal/core chooses the grid once at construction (it is a pure
+// function of Procs and Replication) and shares it across calls; g must
+// equal grid.Choose(p.NProcs(), c) for the run's configuration.
+func NewContextWithGrid(p *bsp.Proc, g grid.Grid) *Context {
 	row, col, layer := g.Coords(p.Rank())
 	return &Context{P: p, Grid: g, Row: row, Col: col, Layer: layer}
 }

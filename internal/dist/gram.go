@@ -8,6 +8,7 @@ import (
 	"genomeatscale/internal/grid"
 	"genomeatscale/internal/par"
 	"genomeatscale/internal/sparse"
+	"genomeatscale/internal/tile"
 )
 
 // Tags for the engine's point-to-point traffic. Collectives use negative
@@ -17,6 +18,7 @@ const (
 	tagAPanel       = 101
 	tagBPanel       = 102
 	tagLayerPartial = 103
+	tagTileEmit     = 104
 )
 
 // entrySlice is the wire form of a batch of packed-word coordinates. Each
@@ -312,6 +314,66 @@ func gatherBlocks[T int64 | float64](ctx *Context, n int, root int, block *spars
 		}
 	}
 	return out
+}
+
+// EmitTiles is the streaming counterpart of the full gathers: every
+// layer-0 rank finalizes its block of the result — deriving S and D from B
+// via Eq. 2 — and ships it to root as one positioned tile carrying all
+// three matrices; root invokes emit once per non-empty tile without ever
+// assembling the n×n matrices. The legacy full gather is this collective
+// driving a tile-collecting sink, and SkipGather is this collective never
+// invoked.
+//
+// Emission is staggered one grid block per superstep, in (RowLo, ColLo)
+// order: a block's S and D are derived lazily on its owner just before its
+// turn and dropped right after, so at any instant the run holds at most
+// one in-flight derived tile plus root's copy — the property that makes
+// streaming memory-bounded — at the cost of Grid.Rows × Grid.Cols
+// supersteps instead of one.
+//
+// EmitTiles is a collective (every rank must call it). Root's emit errors
+// abort the emission and are returned at root — the BSP abort machinery
+// unwinds the other ranks when root's rank function returns the error;
+// other ranks return nil. The *tile.Tile passed to emit is only valid for
+// the duration of the call.
+func (bl *Blocks) EmitTiles(root int, emit func(*tile.Tile) error) error {
+	g := bl.ctx.Grid
+	p := bl.ctx.P
+	for s := 0; s < g.Rows; s++ {
+		for t := 0; t < g.Cols; t++ {
+			owner := g.Rank(s, t, 0)
+			var local *tile.Tile
+			if p.Rank() == owner && bl.b != nil && bl.rowHi > bl.rowLo && bl.colHi > bl.colLo {
+				sb := bl.SBlock()
+				db := sparse.Map(sb, func(v float64) float64 { return 1 - v })
+				local = &tile.Tile{
+					RowLo: bl.rowLo, ColLo: bl.colLo,
+					Rows: bl.rowHi - bl.rowLo, Cols: bl.colHi - bl.colLo,
+					B: bl.b.Data, S: sb.Data, D: db.Data,
+				}
+				if p.Rank() != root {
+					p.Send(root, tagTileEmit, local)
+					local = nil
+				}
+			}
+			p.Sync()
+			if p.Rank() != root {
+				continue
+			}
+			if msgs := p.RecvAll(tagTileEmit); len(msgs) > 0 {
+				if len(msgs) != 1 {
+					panic(fmt.Sprintf("dist: root expected 1 tile for block (%d,%d), got %d", s, t, len(msgs)))
+				}
+				local = msgs[0].Payload.(*tile.Tile)
+			}
+			if local != nil {
+				if err := emit(local); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // GatherB assembles the full intersection matrix B at root (nil elsewhere).

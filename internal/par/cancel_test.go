@@ -1,0 +1,61 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCtxNilAndUncancelled(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var sum atomic.Int64
+		if err := ForEachCtx(nil, workers, 100, func(i int) { sum.Add(int64(i)) }); err != nil {
+			t.Fatal(err)
+		}
+		if sum.Load() != 4950 {
+			t.Fatalf("workers=%d: nil ctx must visit every index, sum %d", workers, sum.Load())
+		}
+		sum.Store(0)
+		if err := ForEachCtx(context.Background(), workers, 100, func(i int) { sum.Add(int64(i)) }); err != nil {
+			t.Fatal(err)
+		}
+		if sum.Load() != 4950 {
+			t.Fatalf("workers=%d: background ctx must visit every index", workers)
+		}
+	}
+}
+
+func TestForEachCtxCancelStopsEarly(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls atomic.Int64
+		err := ForEachCtx(ctx, workers, 1_000_000, func(i int) {
+			if calls.Add(1) == 10 {
+				cancel()
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: want context.Canceled, got %v", workers, err)
+		}
+		// Each worker may finish the call it was in, but no worker claims a
+		// new index after the cancel.
+		if c := calls.Load(); c > int64(10+workers) {
+			t.Fatalf("workers=%d: %d calls after cancellation at call 10", workers, c)
+		}
+		cancel()
+	}
+}
+
+func TestForEachCtxPanicStillPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("panic in fn must propagate through ForEachCtx")
+		}
+	}()
+	_ = ForEachCtx(context.Background(), 4, 100, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+}

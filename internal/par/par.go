@@ -8,6 +8,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -40,6 +41,25 @@ func Resolve(workers int) int {
 // deferred recovers (e.g. the per-rank recover in internal/bsp that turns
 // kernel panics into Compute errors).
 func ForEach(workers, n int, fn func(i int)) {
+	forEach(nil, workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: every worker checks
+// ctx before claiming its next index and stops claiming once the context is
+// done, so a cancelled loop returns ctx.Err() within one fn call per worker
+// (remaining indices are skipped). A nil or never-cancelled context makes
+// ForEachCtx behave exactly like ForEach and return nil. The serial
+// workers <= 1 path checks between iterations, preserving the bit-for-bit
+// index order of the uncancelled loop.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	forEach(ctx, workers, n, fn)
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+func forEach(ctx context.Context, workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -49,6 +69,9 @@ func ForEach(workers, n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -67,6 +90,10 @@ func ForEach(workers, n int, fn func(i int)) {
 			}
 		}()
 		for !aborted.Load() {
+			if ctx != nil && ctx.Err() != nil {
+				aborted.Store(true)
+				return
+			}
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
