@@ -1,4 +1,4 @@
-.PHONY: build test race bench examples
+.PHONY: build test race bench examples fuzz
 
 build:
 	go build ./...
@@ -14,6 +14,13 @@ test:
 
 race:
 	go test -race ./...
+
+# fuzz replays the checked-in seed corpora (always, via go test) and then
+# fuzzes each target briefly — enough for CI to catch regressions in the
+# untrusted-input parsers without burning minutes.
+fuzz:
+	go test -run=^$$ -fuzz=FuzzReadBinary -fuzztime=10s ./internal/samplefile
+	go test -run=^$$ -fuzz=FuzzFromEntries -fuzztime=10s ./internal/bitmat
 
 # bench writes kernel-level benchmark results (density sweep × storage
 # policy × workers, ns/op and speedup-vs-serial-sparse) to

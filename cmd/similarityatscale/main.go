@@ -8,9 +8,17 @@
 // writes it as TSV; with -top-k or -threshold it streams, retaining only
 // the requested sample pairs instead of gathering the full matrix.
 //
-// Example:
+// With -dir the samples are not loaded up front: the directory's files
+// (text or binary encoding, auto-detected) are read out-of-core during the
+// run — prefetched -prefetch samples ahead of the scan, loaded in
+// parallel, and evicted so at most ~2 prefetch windows stay resident — and
+// a corrupt or unreadable file aborts the run with an error naming it
+// instead of panicking. Out-of-core mode requires an explicit -m.
+//
+// Examples:
 //
 //	similarityatscale -m 1000000 -procs 4 -batches 2 -workers 1 -output sim.tsv a.txt b.txt c.txt
+//	similarityatscale -m 1000000 -dir samples/ -pattern '*.smp' -prefetch 128 -top-k 20
 package main
 
 import (
@@ -36,41 +44,67 @@ func main() {
 
 func run(args []string, out *os.File) error {
 	fs := cliutil.NewFlagSet("similarityatscale")
-	maxVal := fs.Uint64("m", 0, "number of possible attribute values (0 = derive from the data)")
+	maxVal := fs.Uint64("m", 0, "number of possible attribute values (0 = derive from the data; required with -dir)")
 	compute := cliutil.BindCompute(fs)
+	ingest := cliutil.BindIngest(fs)
 	outPath := fs.String("output", "", "write the similarity matrix to this TSV file (default: print)")
 	distance := fs.Bool("distance", false, "report Jaccard distances (1 − J) instead of similarities")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	files := fs.Args()
-	if len(files) < 2 {
-		return fmt.Errorf("need at least two sample files, got %d", len(files))
-	}
 
-	names := make([]string, 0, len(files))
-	samples := make([][]uint64, 0, len(files))
-	var maxSeen uint64
-	for _, path := range files {
-		values, err := readValues(path)
+	var ds core.Dataset
+	m := *maxVal
+	switch {
+	case ingest.Active():
+		// Out-of-core: the files load lazily during the run — in parallel,
+		// prefetched ahead of the scan, and evicted to stay within the
+		// resident budget — so the collection never has to fit in memory.
+		// The universe must be declared up front: deriving it would force a
+		// full scan before the run.
+		if len(files) != 0 {
+			return fmt.Errorf("-dir and positional sample files are mutually exclusive")
+		}
+		if m == 0 {
+			return fmt.Errorf("-dir needs an explicit attribute universe: pass -m")
+		}
+		dds, err := ingest.Open(m)
 		if err != nil {
 			return err
 		}
-		for _, v := range values {
-			if v > maxSeen {
-				maxSeen = v
-			}
+		if dds.NumSamples() < 2 {
+			return fmt.Errorf("need at least two sample files, got %d", dds.NumSamples())
 		}
-		names = append(names, strings.TrimSuffix(filepath.Base(path), filepath.Ext(path)))
-		samples = append(samples, values)
-	}
-	m := *maxVal
-	if m == 0 {
-		m = maxSeen + 1
-	}
-	ds, err := core.NewInMemoryDataset(names, samples, m)
-	if err != nil {
-		return err
+		ds = dds
+	default:
+		if len(files) < 2 {
+			return fmt.Errorf("need at least two sample files, got %d", len(files))
+		}
+		names := make([]string, 0, len(files))
+		samples := make([][]uint64, 0, len(files))
+		var maxSeen uint64
+		for _, path := range files {
+			values, err := readValues(path)
+			if err != nil {
+				return err
+			}
+			for _, v := range values {
+				if v > maxSeen {
+					maxSeen = v
+				}
+			}
+			names = append(names, strings.TrimSuffix(filepath.Base(path), filepath.Ext(path)))
+			samples = append(samples, values)
+		}
+		if m == 0 {
+			m = maxSeen + 1
+		}
+		var err error
+		ds, err = core.NewInMemoryDataset(names, samples, m)
+		if err != nil {
+			return err
+		}
 	}
 
 	if compute.Streaming() {
@@ -86,6 +120,7 @@ func run(args []string, out *os.File) error {
 		}
 		fmt.Fprintf(out, "streamed %d×%d Jaccard similarity run over m=%d attributes in %.3fs (%d tiles)\n",
 			res.N, res.N, m, res.Stats.TotalSeconds, res.Stats.TilesEmitted)
+		cliutil.PrintIngest(out, res.Stats.Ingest)
 		fmt.Fprintf(out, "\n%d retained sample pairs:\n", len(pairs))
 		return output.WritePairs(out, pairs)
 	}
@@ -107,15 +142,16 @@ func run(args []string, out *os.File) error {
 	}
 	fmt.Fprintf(out, "computed %d×%d Jaccard %s matrix over m=%d attributes in %.3fs\n",
 		res.N, res.N, label, m, res.Stats.TotalSeconds)
+	cliutil.PrintIngest(out, res.Stats.Ingest)
 
 	if *outPath != "" {
-		if err := cliutil.WriteMatrixTSVFile(*outPath, names, matrix); err != nil {
+		if err := cliutil.WriteMatrixTSVFile(*outPath, res.Names, matrix); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "%s matrix written to %s\n", label, *outPath)
 		return nil
 	}
-	cliutil.PrintMatrix(out, names, matrix)
+	cliutil.PrintMatrix(out, res.Names, matrix)
 	return nil
 }
 

@@ -6,6 +6,7 @@
 //
 //	synthgen -mode genomes -samples 8 -length 50000 -substitution-rate 0.01 -out data/
 //	synthgen -mode sets -samples 16 -attributes 1000000 -density 0.001 -out data/
+//	synthgen -mode sets -binary -samples 1000 -attributes 1000000 -out data/   # compact .smp for similarityatscale -dir
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 
 	"genomeatscale/internal/cliutil"
 	"genomeatscale/internal/genome"
+	"genomeatscale/internal/samplefile"
 	"genomeatscale/internal/synth"
 )
 
@@ -33,6 +35,7 @@ func run(args []string, out *os.File) error {
 	subRate := fs.Float64("substitution-rate", 0.01, "genomes: per-base substitution rate per generation")
 	indelRate := fs.Float64("indel-rate", 0.001, "genomes: per-base insertion/deletion rate per generation")
 	attributes := fs.Uint64("attributes", 1_000_000, "sets: attribute universe size m")
+	binaryOut := fs.Bool("binary", false, "sets: write the compact binary sample encoding (.smp) instead of text (.txt)")
 	density := fs.Float64("density", 0.001, "sets: probability that an attribute is present in a sample")
 	variability := fs.Float64("column-variability", 0, "sets: per-sample density variability (0 = uniform)")
 	seed := fs.Uint64("seed", 42, "random seed")
@@ -82,16 +85,16 @@ func run(args []string, out *os.File) error {
 		if err != nil {
 			return err
 		}
+		// The samplefile writers produce the on-disk formats the out-of-core
+		// ingestion path reads (similarityatscale -dir), and report
+		// write-back failures such as a full disk.
+		write, ext := samplefile.WriteText, ".txt"
+		if *binaryOut {
+			write, ext = samplefile.WriteBinary, ".smp"
+		}
 		for i := 0; i < ds.NumSamples(); i++ {
-			path := filepath.Join(*outDir, fmt.Sprintf("sample-%03d.txt", i))
-			f, err := os.Create(path)
-			if err != nil {
-				return err
-			}
-			for _, v := range ds.Sample(i) {
-				fmt.Fprintln(f, v)
-			}
-			if err := f.Close(); err != nil {
+			path := filepath.Join(*outDir, fmt.Sprintf("sample-%03d%s", i, ext))
+			if err := write(path, ds.Sample(i)); err != nil {
 				return err
 			}
 			fmt.Fprintf(out, "wrote %s (%d values)\n", path, len(ds.Sample(i)))

@@ -15,6 +15,7 @@ import (
 	genomeatscale "genomeatscale"
 	"genomeatscale/internal/core"
 	"genomeatscale/internal/output"
+	"genomeatscale/internal/samplefile"
 	"genomeatscale/internal/sparse"
 )
 
@@ -75,6 +76,53 @@ func (f *ComputeFlags) Engine() (*genomeatscale.Engine, error) {
 // Streaming reports whether -top-k or -threshold requested a streaming
 // reduction instead of the gathered matrix.
 func (f *ComputeFlags) Streaming() bool { return *f.TopK > 0 || *f.Threshold >= 0 }
+
+// IngestFlags binds the out-of-core ingestion flags: instead of listing
+// sample files on the command line (all loaded up front), -dir scans a
+// directory lazily through samplefile.DirDataset with parallel prefetch
+// and bounded resident memory.
+type IngestFlags struct {
+	Dir         *string
+	Pattern     *string
+	Prefetch    *int
+	LoadWorkers *int
+	MaxResident *int
+}
+
+// BindIngest registers the out-of-core ingestion flags on fs.
+func BindIngest(fs *flag.FlagSet) *IngestFlags {
+	return &IngestFlags{
+		Dir:         fs.String("dir", "", "read sample files out-of-core from this directory instead of listing them as arguments"),
+		Pattern:     fs.String("pattern", "*", "glob the sample files under -dir must match"),
+		Prefetch:    fs.Int("prefetch", 64, "out-of-core read-ahead window in samples; the next window loads while the current one computes (0 = cache every loaded sample, no eviction)"),
+		LoadWorkers: fs.Int("load-workers", 0, "concurrent background sample loads (0 = auto)"),
+		MaxResident: fs.Int("max-resident", 0, "bound on simultaneously resident samples (0 = 2x the prefetch window when prefetching)"),
+	}
+}
+
+// Active reports whether -dir selected out-of-core ingestion.
+func (f *IngestFlags) Active() bool { return *f.Dir != "" }
+
+// Open opens the configured directory as an out-of-core dataset over the
+// attribute universe [0, numAttributes).
+func (f *IngestFlags) Open(numAttributes uint64) (*samplefile.DirDataset, error) {
+	return samplefile.OpenDirOptions(*f.Dir, numAttributes, samplefile.DirOptions{
+		Pattern:     *f.Pattern,
+		Prefetch:    *f.Prefetch,
+		Parallelism: *f.LoadWorkers,
+		MaxResident: *f.MaxResident,
+	})
+}
+
+// PrintIngest reports the ingestion counters of an out-of-core run; it
+// prints nothing when the run carried none (in-memory datasets).
+func PrintIngest(w io.Writer, s *core.IngestStats) {
+	if s == nil {
+		return
+	}
+	fmt.Fprintf(w, "ingestion: %d sample loads (%.3fs I/O), %d evictions, peak %d samples resident\n",
+		s.Loads, s.LoadSeconds, s.Evictions, s.PeakResident)
+}
 
 // StreamPairs runs the engine in streaming mode according to the -top-k /
 // -threshold flags and returns the run result plus the retained pairs

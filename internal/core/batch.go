@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"slices"
 
 	"genomeatscale/internal/bitmat"
 	"genomeatscale/internal/bitutil"
@@ -45,24 +46,45 @@ type batchColumn struct {
 
 // sliceBatch extracts the batch range [lo, hi) of the listed samples. It
 // returns the non-empty columns and the flattened batch-rebased row list
-// (the rows this process would write into the filter vector).
-func sliceBatch(ds Dataset, cols []int, lo, hi uint64) ([]batchColumn, []int64) {
+// (the rows this process would write into the filter vector). Samples are
+// accessed through the error-returning DatasetV2 path in ascending column
+// order — the access pattern out-of-core datasets prefetch against — and a
+// load failure aborts the batch with a descriptive error instead of
+// panicking mid-run.
+//
+// For an EvictingDataset the in-range values are copied out: the columns
+// live until the batch's pack stage completes, and a zero-copy subslice
+// would pin each sample's whole backing array for that long — the resident
+// bound would then hold only in the loader's accounting, not in bytes.
+// Non-evicting datasets keep the historical zero-copy subslices.
+func sliceBatch(ds DatasetV2, cols []int, lo, hi uint64) ([]batchColumn, []int64, error) {
 	if lo >= hi {
-		return nil, nil
+		return nil, nil, nil
+	}
+	copyVals := false
+	if ev, ok := ds.(EvictingDataset); ok {
+		copyVals = ev.EvictsSamples()
 	}
 	var columns []batchColumn
 	var rows []int64
 	for _, j := range cols {
-		vals := rangeSlice(ds.Sample(j), lo, hi)
+		sample, err := ds.SampleErr(j)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: loading sample %d (%s): %w", j, ds.SampleName(j), err)
+		}
+		vals := rangeSlice(sample, lo, hi)
 		if len(vals) == 0 {
 			continue
+		}
+		if copyVals {
+			vals = slices.Clone(vals)
 		}
 		columns = append(columns, batchColumn{col: j, vals: vals})
 		for _, v := range vals {
 			rows = append(rows, int64(v-lo))
 		}
 	}
-	return columns, rows
+	return columns, rows, nil
 }
 
 // packBatch compacts each column's batch rows against the sorted nonzero

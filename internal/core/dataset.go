@@ -38,6 +38,89 @@ type Dataset interface {
 	SampleName(i int) string
 }
 
+// DatasetV2 is the error-propagating dataset access path used by the
+// execution pipelines. Dataset.Sample has no way to report an I/O failure,
+// so out-of-core implementations historically panicked on a corrupt file —
+// killing a whole multi-million-sample run for one bad input. DatasetV2
+// surfaces those failures as errors instead: the batch stage calls
+// SampleErr, and Engine.Similarity / Engine.Stream return the error like
+// any other run failure.
+//
+// Implementations that load lazily should also use LoadRange to overlap
+// I/O with compute (see samplefile.DirDataset); in-memory implementations
+// can treat it as a no-op.
+//
+// Implementations must support concurrent SampleErr calls: the distributed
+// path reads samples from every virtual rank at once. A wrapper that embeds
+// a DatasetV2 and overrides Sample must override SampleErr (and LoadRange)
+// too, or method promotion will route the pipelines around the override.
+type DatasetV2 interface {
+	Dataset
+	// SampleErr returns the sorted, duplicate-free attribute indices of
+	// sample i, or an error when the sample cannot be provided (unreadable
+	// or corrupt backing file, value outside [0, NumAttributes), ...).
+	// The returned slice must not be modified.
+	SampleErr(i int) ([]uint64, error)
+	// LoadRange eagerly makes samples [lo, hi) available — a prefetch hint
+	// that lets loads proceed in parallel with compute. It returns the
+	// first load error encountered; implementations with nothing to load
+	// return nil.
+	LoadRange(lo, hi int) error
+}
+
+// EvictingDataset is an optional DatasetV2 extension marking datasets
+// that may evict and reload sample storage during a run (out-of-core
+// loaders). The batch stage copies the in-range values out of such
+// datasets instead of keeping zero-copy subslices: a subslice pins the
+// sample's whole backing array until the batch's pack stage completes,
+// which would keep every sample reachable at once and defeat the
+// eviction bound in actual bytes.
+type EvictingDataset interface {
+	// EvictsSamples reports whether sample slices may be dropped from
+	// memory during a run.
+	EvictsSamples() bool
+}
+
+// RangePrefetcher is an optional DatasetV2 extension: PrefetchRange
+// schedules background loads of samples [lo, hi) and returns immediately,
+// without waiting for them — the non-blocking form of LoadRange. The
+// engine uses it to begin the next batch's leading loads while the
+// current batch's Gram accumulation computes; load errors are not lost,
+// they re-surface from SampleErr when the scan reaches the sample.
+type RangePrefetcher interface {
+	PrefetchRange(lo, hi int)
+}
+
+// AsV2 adapts any Dataset to the error-returning DatasetV2 access path.
+// A dataset that already implements DatasetV2 is returned unchanged;
+// otherwise a wrapper is returned whose SampleErr converts a panicking
+// Sample (the only failure channel the legacy interface has) into an
+// ordinary error, and whose LoadRange is a no-op. The pipelines route every
+// sample access through this adapter, so no Dataset implementation can
+// take down a run by panicking during a load.
+func AsV2(ds Dataset) DatasetV2 {
+	if v2, ok := ds.(DatasetV2); ok {
+		return v2
+	}
+	return legacyV2{ds}
+}
+
+// legacyV2 adapts a panic-on-error Dataset to DatasetV2.
+type legacyV2 struct {
+	Dataset
+}
+
+func (a legacyV2) SampleErr(i int) (vals []uint64, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("core: sample %d: %v", i, rec)
+		}
+	}()
+	return a.Dataset.Sample(i), nil
+}
+
+func (a legacyV2) LoadRange(lo, hi int) error { return nil }
+
 // InMemoryDataset is the simplest Dataset: all samples held in memory.
 type InMemoryDataset struct {
 	names      []string

@@ -5,9 +5,12 @@ import "context"
 // Compute runs the fully distributed SimilarityAtScale pipeline with the
 // legacy one-shot semantics: a throwaway engine is built for opts, the run
 // executes on opts.Procs virtual BSP ranks (even for Procs == 1), and the
-// full matrices are assembled at rank 0 unless opts.SkipGather is set. New
-// code that runs more than once, needs cancellation or wants streaming
-// output should hold an Engine.
+// full matrices are assembled at rank 0 unless opts.SkipGather is set.
+// Sample accesses go through the error-returning DatasetV2 path (see
+// AsV2): a load failure on any rank aborts the whole BSP run and is
+// returned as the run error instead of panicking the process. New code
+// that runs more than once, needs cancellation or wants streaming output
+// should hold an Engine.
 func Compute(ds Dataset, opts Options) (*Result, error) {
 	e, err := NewEngine(opts)
 	if err != nil {

@@ -102,6 +102,32 @@ func (e *Engine) Stream(ctx context.Context, ds Dataset, sink TileSink) (*Result
 	return e.computeSeq(ctx, ds, sink)
 }
 
+// prefetchNextScan begins re-loading the samples the next batch's scan
+// will read, starting from sample 0, while the current batch's Gram
+// accumulation computes — the batch-t+1-loads-under-batch-t-compute
+// overlap of the out-of-core design. It uses the non-blocking
+// RangePrefetcher hint, so the engine spawns no goroutine of its own and
+// nothing outlives the run on its behalf; datasets without the hint (all
+// in-memory ones) have nothing to overlap. Memory-bounded loaders clamp
+// the hint to their resident budget, and a failed background load is
+// cached by the dataset and re-surfaces from SampleErr when the next scan
+// reaches the sample, so no failure is lost.
+func prefetchNextScan(v2 DatasetV2, n int) {
+	if rp, ok := v2.(RangePrefetcher); ok {
+		rp.PrefetchRange(0, n)
+	}
+}
+
+// captureIngest copies the dataset's ingestion counters (loads, evictions,
+// peak resident samples) into the run statistics when the dataset exposes
+// them.
+func captureIngest(ds Dataset, stats *RunStats) {
+	if is, ok := ds.(IngestStatser); ok {
+		s := is.IngestStats()
+		stats.Ingest = &s
+	}
+}
+
 // sinkRunner funnels every sink interaction through one place so the run
 // statistics (tiles emitted, peak tile words, time spent in the consumer)
 // are recorded uniformly on both execution paths.
@@ -154,6 +180,7 @@ func (e *Engine) computeSeq(ctx context.Context, ds Dataset, sink TileSink) (*Re
 	if err := validateDataset(ds); err != nil {
 		return nil, err
 	}
+	v2 := AsV2(ds)
 	opts := e.opts
 	start := time.Now()
 	n := ds.NumSamples()
@@ -170,8 +197,6 @@ func (e *Engine) computeSeq(ctx context.Context, ds Dataset, sink TileSink) (*Re
 	allCols := make([]int, n)
 	for i := 0; i < n; i++ {
 		allCols[i] = i
-		res.Cardinalities[i] = int64(len(ds.Sample(i)))
-		res.Stats.IndicatorNonzeros += int64(len(ds.Sample(i)))
 	}
 
 	for l := 0; l < opts.BatchCount; l++ {
@@ -184,12 +209,26 @@ func (e *Engine) computeSeq(ctx context.Context, ds Dataset, sink TileSink) (*Re
 		// Shared batch stage: slice, filter (Eq. 5), compact and pack
 		// (Eq. 6, Section III-B). A single process observes every write, so
 		// dist.Compact of the local rows is the whole filter vector.
-		columns, localRows := sliceBatch(ds, allCols, lo, hi)
+		columns, localRows, err := sliceBatch(v2, allCols, lo, hi)
+		if err != nil {
+			return nil, fmt.Errorf("batch %d: %w", l, err)
+		}
+		// The batch ranges partition [0, m), so summing each sample's
+		// in-range value counts over all batches yields the exact
+		// cardinalities (â, Eq. 4) without an up-front pass that would load
+		// every sample before the first batch — out-of-core datasets stay
+		// memory-bounded.
+		for _, c := range columns {
+			res.Cardinalities[c.col] += int64(len(c.vals))
+		}
 		nonzero := dist.Compact(localRows)
 		active := len(nonzero)
 		entries, err := packBatch(ctx, columns, nonzero, lo, opts.MaskBits, workers)
 		if err != nil {
 			return nil, err
+		}
+		if l+1 < opts.BatchCount {
+			prefetchNextScan(v2, n)
 		}
 		packed := bitmat.FromEntriesThreshold(entries, wordRowsFor(active, opts.MaskBits), n, opts.MaskBits, active, opts.DenseThreshold)
 		if err := packed.GramAccumulateCtx(ctx, b, workers); err != nil {
@@ -203,6 +242,9 @@ func (e *Engine) computeSeq(ctx context.Context, ds Dataset, sink TileSink) (*Re
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	for _, c := range res.Cardinalities {
+		res.Stats.IndicatorNonzeros += c
+	}
 
 	if sink != nil {
 		if err := e.streamSeq(ctx, res, b, sink); err != nil {
@@ -211,6 +253,7 @@ func (e *Engine) computeSeq(ctx context.Context, ds Dataset, sink TileSink) (*Re
 	} else if err := finalize(ctx, res, b, opts.SkipGather, workers); err != nil {
 		return nil, err
 	}
+	captureIngest(ds, &res.Stats)
 	res.Stats.TotalSeconds = time.Since(start).Seconds()
 	return res, nil
 }
@@ -295,6 +338,7 @@ func (e *Engine) computeDist(ctx context.Context, ds Dataset, sink TileSink) (*R
 	if err := validateDataset(ds); err != nil {
 		return nil, err
 	}
+	v2 := AsV2(ds)
 	opts := e.opts
 	start := time.Now()
 	n := ds.NumSamples()
@@ -304,7 +348,6 @@ func (e *Engine) computeDist(ctx context.Context, ds Dataset, sink TileSink) (*R
 	m := ds.NumAttributes()
 
 	res := &Result{N: n, Names: sampleNames(ds)}
-	res.Stats.IndicatorNonzeros = TotalNonzeros(ds)
 	workers := e.distWorkers
 
 	var collect *tile.Collect
@@ -320,9 +363,6 @@ func (e *Engine) computeDist(ctx context.Context, ds Dataset, sink TileSink) (*R
 
 		owned := dctx.OwnedSamples(n)
 		localCounts := make([]int64, n)
-		for _, j := range owned {
-			localCounts[j] = int64(len(ds.Sample(j)))
-		}
 
 		for l := 0; l < opts.BatchCount; l++ {
 			if err := ctx.Err(); err != nil {
@@ -333,7 +373,19 @@ func (e *Engine) computeDist(ctx context.Context, ds Dataset, sink TileSink) (*R
 
 			// Shared batch stage over the owned samples only; the filter
 			// vector exchange replicates the global nonzero set (Eq. 5, 6).
-			columns, localRows := sliceBatch(ds, owned, lo, hi)
+			// A load failure on any rank aborts the whole BSP run: the bsp
+			// runtime wakes the peers parked at barriers and RunCtx returns
+			// the rank's error as the run failure.
+			columns, localRows, err := sliceBatch(v2, owned, lo, hi)
+			if err != nil {
+				return fmt.Errorf("batch %d: %w", l, err)
+			}
+			// Per-batch cardinality accumulation (the batch ranges
+			// partition [0, m)); each sample is owned by exactly one rank,
+			// so the final AllReduce sum assembles the exact â of Eq. 4.
+			for _, c := range columns {
+				localCounts[c.col] += int64(len(c.vals))
+			}
 			length := int64(hi) - int64(lo)
 			if length <= 0 {
 				length = 1
@@ -346,6 +398,11 @@ func (e *Engine) computeDist(ctx context.Context, ds Dataset, sink TileSink) (*R
 			entries, err := packBatch(ctx, columns, nonzero, lo, opts.MaskBits, workers)
 			if err != nil {
 				return fmt.Errorf("batch %d: %w", l, err)
+			}
+			if p.Rank() == 0 && l+1 < opts.BatchCount {
+				// One rank hints the restart of the scan; single-flight
+				// loading in the dataset dedups it against the peers' reads.
+				prefetchNextScan(v2, n)
 			}
 			engine.AddBatch(entries, wordRowsFor(active, opts.MaskBits), opts.MaskBits, active)
 
@@ -366,6 +423,9 @@ func (e *Engine) computeDist(ctx context.Context, ds Dataset, sink TileSink) (*R
 
 		if p.Rank() == 0 {
 			res.Cardinalities = counts
+			for _, c := range counts {
+				res.Stats.IndicatorNonzeros += c
+			}
 		}
 		if emitSink != nil {
 			sr := &sinkRunner{sink: emitSink, stats: &res.Stats}
@@ -391,6 +451,7 @@ func (e *Engine) computeDist(ctx context.Context, ds Dataset, sink TileSink) (*R
 	if collect != nil {
 		res.B, res.S, res.D = collect.B(), collect.S(), collect.D()
 	}
+	captureIngest(ds, &res.Stats)
 	res.Stats.Comm = commStats
 	res.Stats.TotalSeconds = time.Since(start).Seconds()
 	return res, nil

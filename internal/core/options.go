@@ -137,6 +137,42 @@ type RunStats struct {
 	// SinkSeconds is the wall-clock time spent inside the sink's Start,
 	// Emit and Flush calls, so slow consumers are visible in the run stats.
 	SinkSeconds float64
+
+	// Ingest holds the ingestion-side counters of an out-of-core dataset
+	// (loads, evictions, peak resident samples) captured at the end of the
+	// run; nil when the dataset does not report them (e.g. fully in-memory
+	// datasets).
+	Ingest *IngestStats
+}
+
+// IngestStats reports how an out-of-core dataset behaved during a run: how
+// much loading the scan actually triggered and how tightly the eviction
+// policy bounded the resident set. samplefile.DirDataset maintains these
+// counters; any Dataset can expose its own by implementing IngestStatser.
+type IngestStats struct {
+	// Loads is the number of sample loads performed, including reloads of
+	// previously evicted samples (so Loads − NumSamples measures the
+	// re-read cost of the memory bound).
+	Loads int64
+	// Evictions is the number of samples dropped from memory to stay
+	// within the resident budget.
+	Evictions int64
+	// Resident is the number of samples held in memory when the snapshot
+	// was taken.
+	Resident int
+	// PeakResident is the largest number of samples simultaneously held in
+	// memory — the figure a memory-bounded run asserts stays O(2 × batch).
+	PeakResident int
+	// LoadSeconds is the cumulative wall-clock time spent reading and
+	// decoding sample files (summed across parallel loaders, so it can
+	// exceed the elapsed time when loads overlap).
+	LoadSeconds float64
+}
+
+// IngestStatser is implemented by datasets that track IngestStats; the
+// engine snapshots them into RunStats.Ingest at the end of a run.
+type IngestStatser interface {
+	IngestStats() IngestStats
 }
 
 // Result is the output of a SimilarityAtScale run.

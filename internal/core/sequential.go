@@ -12,8 +12,11 @@ import (
 // process with the legacy one-shot semantics: a throwaway engine is built
 // for opts and the full matrices are assembled. It serves both as the
 // single-node execution mode of GenomeAtScale and as the reference the
-// distributed path is verified against. New code that runs more than once,
-// needs cancellation or wants streaming output should hold an Engine.
+// distributed path is verified against. Sample accesses go through the
+// error-returning DatasetV2 path (see AsV2), so an unreadable or corrupt
+// sample aborts the run with a descriptive error instead of panicking. New
+// code that runs more than once, needs cancellation or wants streaming
+// output should hold an Engine.
 func ComputeSequential(ds Dataset, opts Options) (*Result, error) {
 	e, err := NewEngine(opts)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -178,8 +179,8 @@ func TestOpenDirAsDataset(t *testing.T) {
 	if ds.SampleName(0) != "a" || ds.SampleName(1) != "b" || ds.SampleName(2) != "c" {
 		t.Errorf("names = %v %v %v", ds.SampleName(0), ds.SampleName(1), ds.SampleName(2))
 	}
-	if ds.MaxValue() != 51 {
-		t.Errorf("MaxValue = %d", ds.MaxValue())
+	if mv, err := ds.MaxValue(); err != nil || mv != 51 {
+		t.Errorf("MaxValue = %d, %v", mv, err)
 	}
 
 	// The directory-backed dataset must plug straight into the pipeline and
@@ -228,16 +229,22 @@ func TestOpenDirErrors(t *testing.T) {
 	}
 }
 
-func TestSampleOutOfUniversePanics(t *testing.T) {
+func TestSampleOutOfUniverseErrors(t *testing.T) {
 	dir := t.TempDir()
 	WriteText(filepath.Join(dir, "a.txt"), []uint64{1000})
 	ds, err := OpenDir(dir, "*.txt", 100)
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The error-propagating path reports the mismatch instead of panicking.
+	if _, err := ds.SampleErr(0); err == nil || !strings.Contains(err.Error(), "universe") {
+		t.Errorf("SampleErr = %v, want universe-mismatch error", err)
+	}
+	// The legacy panic-on-error contract of core.Dataset is preserved for
+	// direct callers of Sample.
 	defer func() {
 		if recover() == nil {
-			t.Error("expected panic for out-of-universe value")
+			t.Error("expected panic for out-of-universe value via legacy Sample")
 		}
 	}()
 	ds.Sample(0)
