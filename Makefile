@@ -1,4 +1,4 @@
-.PHONY: build test race bench examples fuzz
+.PHONY: build test race bench benchcheck examples fuzz
 
 build:
 	go build ./...
@@ -17,14 +17,24 @@ race:
 
 # fuzz replays the checked-in seed corpora (always, via go test) and then
 # fuzzes each target briefly — enough for CI to catch regressions in the
-# untrusted-input parsers without burning minutes.
+# untrusted-input parsers and the dispatched popcount kernels without
+# burning minutes.
 fuzz:
 	go test -run=^$$ -fuzz=FuzzReadBinary -fuzztime=10s ./internal/samplefile
 	go test -run=^$$ -fuzz=FuzzFromEntries -fuzztime=10s ./internal/bitmat
+	go test -run=^$$ -fuzz=FuzzPopcountAndSlice -fuzztime=10s ./internal/bitutil
 
 # bench writes kernel-level benchmark results (density sweep × storage
-# policy × workers, ns/op and speedup-vs-serial-sparse) to
-# BENCH_kernels.json; CI uploads the file as an artifact. Drop -quick for
-# the full sweep on a quiet machine.
+# policy × workers, asm-vs-portable dispatch, arena allocations,
+# autotuned-vs-manual) to BENCH_kernels.json; CI uploads the file as an
+# artifact. Drop -quick for the full sweep on a quiet machine.
 bench:
 	go run ./cmd/benchkernels -quick -out BENCH_kernels.json
+
+# benchcheck regenerates BENCH_kernels.json and compares its dimensionless
+# ratios (kernel speedups, dispatch speedup, arena reduction, autotune
+# ratio) against the committed baseline, failing on a >15% regression.
+# Refresh the baseline deliberately with:
+#   go run ./cmd/benchkernels -quick -out BENCH_baseline.json
+benchcheck: bench
+	go run ./cmd/benchcheck -baseline BENCH_baseline.json -current BENCH_kernels.json

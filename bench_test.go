@@ -388,12 +388,17 @@ func kernelProxyOccupancy(seed uint64, rows, cols int, occupancy float64, thresh
 	return bitmat.PackColumnsThreshold(rowsPerCol, rows, 64, threshold)
 }
 
-// BenchmarkHybridGramDensitySweep measures the full Gram kernel across a
-// column-occupancy sweep under the three storage policies: sparse-only
-// (merge kernel everywhere), the auto hybrid default, and forced-dense
-// (contiguous AND+popcount everywhere). Compare sub-benchmark times at a
-// fixed occupancy to see the kernel dispatch payoff; `cmd/benchkernels`
-// writes the same sweep as a JSON artifact.
+// BenchmarkHybridGramDensitySweep measures one full batch cycle of the
+// engine's steady state — rebuild the packed matrix from entries,
+// accumulate its Gram product, release — across a column-occupancy sweep
+// under the three storage policies (sparse merge everywhere, the auto
+// hybrid default, forced dense) and with the slab arena off and on. Each
+// sub-benchmark reports allocs/op: with the arena the warm cycle must
+// allocate ~zero, the ≥10× headline of the arena rung. Compare the
+// arena=off/on pairs for the allocation delta and the storage policies at
+// a fixed occupancy for the kernel dispatch payoff; `cmd/benchkernels`
+// writes the same sweep (and the allocation comparison) as a JSON
+// artifact.
 func BenchmarkHybridGramDensitySweep(b *testing.B) {
 	modes := []struct {
 		name      string
@@ -403,16 +408,37 @@ func BenchmarkHybridGramDensitySweep(b *testing.B) {
 		{"auto", bitmat.DenseAuto},
 		{"dense", 1},
 	}
+	const rows, cols = 16384, 128
+	ctx := context.Background()
 	for _, occ := range []float64{0.02, 0.1, 0.25, 0.5, 0.9} {
 		for _, mode := range modes {
-			b.Run(fmt.Sprintf("occ=%g/%s", occ, mode.name), func(b *testing.B) {
-				packed := kernelProxyOccupancy(11, 16384, 128, occ, mode.threshold)
-				acc := sparse.NewDense[int64](packed.Cols, packed.Cols)
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					packed.GramAccumulateWorkers(acc, 1)
-				}
-			})
+			entries := kernelProxyOccupancy(11, rows, cols, occ, mode.threshold).Entries()
+			for _, withArena := range []bool{false, true} {
+				name := fmt.Sprintf("occ=%g/%s/arena=%v", occ, mode.name, withArena)
+				b.Run(name, func(b *testing.B) {
+					var arena *bitmat.Arena
+					if withArena {
+						arena = bitmat.NewArena()
+					}
+					acc := sparse.NewDense[int64](cols, cols)
+					wordRows := (rows + 63) / 64
+					cycle := func() {
+						packed := bitmat.FromEntriesThresholdArena(entries, wordRows, cols, 64, rows, mode.threshold, arena)
+						if err := packed.GramAccumulateCtxArena(ctx, acc, 1, arena); err != nil {
+							b.Fatal(err)
+						}
+						packed.Release()
+					}
+					for i := 0; i < 3; i++ {
+						cycle() // warm the arena's free lists before counting
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						cycle()
+					}
+				})
+			}
 		}
 	}
 }

@@ -1,0 +1,168 @@
+// Command benchcheck guards the repository's kernel benchmarks against
+// regressions: it compares a freshly generated BENCH_kernels.json against
+// the committed baseline (BENCH_baseline.json) and fails when any tracked
+// metric regressed by more than the tolerance.
+//
+// Only dimensionless ratios are compared — dense-vs-sparse kernel speedups,
+// the asm-vs-portable dispatch speedup, the arena allocation reduction, the
+// autotuned-vs-best-manual ratio, the streaming peak-memory ratio — never
+// raw nanoseconds, so the check is meaningful across machines of different
+// speeds. A new metric present only in the current artifact passes (the
+// baseline just hasn't recorded it yet); a metric the baseline tracks but
+// the current run lost fails.
+//
+// Example:
+//
+//	benchcheck -baseline BENCH_baseline.json -current BENCH_kernels.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"genomeatscale/internal/cliutil"
+)
+
+// artifact mirrors the ratio-bearing parts of the BENCH_kernels.json
+// schema written by cmd/benchkernels; the raw-time fields are ignored.
+type artifact struct {
+	Results []struct {
+		Storage               string  `json:"storage"`
+		Occupancy             float64 `json:"occupancy"`
+		Workers               int     `json:"workers"`
+		SpeedupVsSerialSparse float64 `json:"speedup_vs_serial_sparse"`
+	} `json:"results"`
+	Dispatch *struct {
+		Speedup float64 `json:"speedup"`
+	} `json:"dispatch"`
+	Arena *struct {
+		Reduction float64 `json:"reduction"`
+	} `json:"arena"`
+	Autotune *struct {
+		RatioVsBest float64 `json:"ratio_vs_best"`
+	} `json:"autotune"`
+	Streaming *struct {
+		PeakMemoryRatio float64 `json:"peak_memory_ratio"`
+	} `json:"streaming"`
+}
+
+// metric is one tracked dimensionless ratio. LowerBetter flips the
+// regression direction (only the autotune ratio wants to be small).
+type metric struct {
+	Value       float64
+	LowerBetter bool
+}
+
+// metrics flattens an artifact into named ratios.
+func metrics(a artifact) map[string]metric {
+	out := map[string]metric{}
+	for _, r := range a.Results {
+		// Only the serial points are gated: multi-worker speedups depend on
+		// how loaded the runner happens to be and routinely swing past any
+		// reasonable tolerance, so they are recorded in the artifact but not
+		// tracked as regressions.
+		if r.SpeedupVsSerialSparse <= 0 || r.Workers != 1 {
+			continue
+		}
+		key := fmt.Sprintf("kernel-speedup[%s,occ=%g,workers=%d]", r.Storage, r.Occupancy, r.Workers)
+		out[key] = metric{Value: r.SpeedupVsSerialSparse}
+	}
+	if a.Dispatch != nil && a.Dispatch.Speedup > 0 {
+		out["dispatch-speedup"] = metric{Value: a.Dispatch.Speedup}
+	}
+	if a.Arena != nil && a.Arena.Reduction > 0 {
+		out["arena-alloc-reduction"] = metric{Value: a.Arena.Reduction}
+	}
+	if a.Autotune != nil && a.Autotune.RatioVsBest > 0 {
+		out["autotune-ratio-vs-best"] = metric{Value: a.Autotune.RatioVsBest, LowerBetter: true}
+	}
+	if a.Streaming != nil && a.Streaming.PeakMemoryRatio > 0 {
+		out["streaming-peak-memory-ratio"] = metric{Value: a.Streaming.PeakMemoryRatio}
+	}
+	return out
+}
+
+func readArtifact(path string) (artifact, error) {
+	var a artifact
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return a, err
+	}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return a, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+// check compares the current metrics against the baseline and returns the
+// regressions found.
+func check(baseline, current map[string]metric, tolerance float64) []string {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var bad []string
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: tracked by the baseline but missing from the current artifact", name))
+			continue
+		}
+		if base.LowerBetter {
+			if limit := base.Value * (1 + tolerance); cur.Value > limit {
+				bad = append(bad, fmt.Sprintf("%s: %.3f regressed past %.3f (baseline %.3f +%.0f%%)",
+					name, cur.Value, limit, base.Value, tolerance*100))
+			}
+		} else {
+			if limit := base.Value * (1 - tolerance); cur.Value < limit {
+				bad = append(bad, fmt.Sprintf("%s: %.3f regressed below %.3f (baseline %.3f -%.0f%%)",
+					name, cur.Value, limit, base.Value, tolerance*100))
+			}
+		}
+	}
+	return bad
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := cliutil.NewFlagSet("benchcheck")
+	basePath := fs.String("baseline", "BENCH_baseline.json", "committed baseline artifact")
+	curPath := fs.String("current", "BENCH_kernels.json", "freshly generated artifact to check")
+	tolerance := fs.Float64("tolerance", 0.15, "allowed relative regression per metric")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base, err := readArtifact(*basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := readArtifact(*curPath)
+	if err != nil {
+		return err
+	}
+	baseM, curM := metrics(base), metrics(cur)
+	if len(baseM) == 0 {
+		return fmt.Errorf("%s tracks no metrics", *basePath)
+	}
+	regressions := check(baseM, curM, *tolerance)
+	for _, r := range regressions {
+		fmt.Fprintln(out, "REGRESSION:", r)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d of %d tracked metrics regressed more than %.0f%%",
+			len(regressions), len(baseM), *tolerance*100)
+	}
+	fmt.Fprintf(out, "benchcheck: %d tracked metrics within %.0f%% of the baseline\n", len(baseM), *tolerance*100)
+	return nil
+}

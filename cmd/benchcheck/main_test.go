@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baselineJSON = `{
+  "results": [
+    {"storage": "sparse", "occupancy": 0.5, "workers": 1, "speedup_vs_serial_sparse": 1.0},
+    {"storage": "dense", "occupancy": 0.5, "workers": 1, "speedup_vs_serial_sparse": 3.0}
+  ],
+  "dispatch": {"speedup": 4.0},
+  "arena": {"reduction": 50.0},
+  "autotune": {"ratio_vs_best": 1.05},
+  "streaming": {"peak_memory_ratio": 10.0}
+}`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchcheckPassesWithinTolerance(t *testing.T) {
+	base := writeTemp(t, "base.json", baselineJSON)
+	// 10% slower dense kernel, slightly better everything else: within 15%.
+	cur := writeTemp(t, "cur.json", strings.NewReplacer(
+		`"speedup_vs_serial_sparse": 3.0`, `"speedup_vs_serial_sparse": 2.7`,
+		`"ratio_vs_best": 1.05`, `"ratio_vs_best": 1.0`,
+	).Replace(baselineJSON))
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &buf); err != nil {
+		t.Fatalf("within-tolerance comparison failed: %v\n%s", err, buf.String())
+	}
+}
+
+func TestBenchcheckFailsOnRegression(t *testing.T) {
+	base := writeTemp(t, "base.json", baselineJSON)
+	cur := writeTemp(t, "cur.json", strings.Replace(baselineJSON,
+		`"speedup_vs_serial_sparse": 3.0`, `"speedup_vs_serial_sparse": 2.0`, 1))
+	var buf bytes.Buffer
+	err := run([]string{"-baseline", base, "-current", cur}, &buf)
+	if err == nil {
+		t.Fatal("33% kernel-speedup regression passed")
+	}
+	if !strings.Contains(buf.String(), "kernel-speedup[dense,occ=0.5,workers=1]") {
+		t.Errorf("regression report does not name the metric:\n%s", buf.String())
+	}
+}
+
+func TestBenchcheckLowerBetterDirection(t *testing.T) {
+	base := writeTemp(t, "base.json", baselineJSON)
+	// The autotune ratio regresses UP: 1.05 → 1.5 means the tuner drifted
+	// away from the best manual configuration.
+	cur := writeTemp(t, "cur.json", strings.Replace(baselineJSON,
+		`"ratio_vs_best": 1.05`, `"ratio_vs_best": 1.5`, 1))
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &buf); err == nil {
+		t.Fatal("autotune ratio regression passed")
+	}
+	// ... while a DROP of the same magnitude is an improvement, not a
+	// regression.
+	cur2 := writeTemp(t, "cur2.json", strings.Replace(baselineJSON,
+		`"ratio_vs_best": 1.05`, `"ratio_vs_best": 0.7`, 1))
+	if err := run([]string{"-baseline", base, "-current", cur2}, &buf); err != nil {
+		t.Fatalf("autotune ratio improvement flagged: %v", err)
+	}
+}
+
+func TestBenchcheckMissingMetricFails(t *testing.T) {
+	base := writeTemp(t, "base.json", baselineJSON)
+	cur := writeTemp(t, "cur.json", strings.Replace(baselineJSON,
+		`"dispatch": {"speedup": 4.0},`, "", 1))
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &buf); err == nil {
+		t.Fatal("missing tracked metric passed")
+	}
+}
+
+func TestBenchcheckExtraMetricPasses(t *testing.T) {
+	// Baseline without the arena section, current with it: new metrics are
+	// not regressions.
+	base := writeTemp(t, "base.json", strings.Replace(baselineJSON,
+		`"arena": {"reduction": 50.0},`, "", 1))
+	cur := writeTemp(t, "cur.json", baselineJSON)
+	var buf bytes.Buffer
+	if err := run([]string{"-baseline", base, "-current", cur}, &buf); err != nil {
+		t.Fatalf("new metric in current artifact flagged: %v", err)
+	}
+}

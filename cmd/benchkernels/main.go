@@ -24,6 +24,7 @@ import (
 	genomeatscale "genomeatscale"
 
 	"genomeatscale/internal/bitmat"
+	"genomeatscale/internal/bitutil"
 	"genomeatscale/internal/cliutil"
 	"genomeatscale/internal/sparse"
 	"genomeatscale/internal/synth"
@@ -75,12 +76,73 @@ type streamingResult struct {
 	StreamSeconds float64 `json:"stream_seconds"`
 }
 
+// dispatchResult compares the runtime-dispatched popcount kernel (AVX-512
+// VPOPCNTQ where the CPU has it) against the portable 8-way fallback on
+// the same forced-dense high-occupancy Gram product — the asm-vs-portable
+// delta of the kernel rung.
+type dispatchResult struct {
+	// Kernel is the dispatched kernel's name ("avx512-vpopcntq" or
+	// "portable-8way" when the host has no supported extension).
+	Kernel string `json:"kernel"`
+	// Occupancy of the measured forced-dense slabs.
+	Occupancy float64 `json:"occupancy"`
+	// PortableNsPerOp and DispatchedNsPerOp are the per-Gram times of the
+	// two kernels on identical inputs.
+	PortableNsPerOp   float64 `json:"portable_ns_per_op"`
+	DispatchedNsPerOp float64 `json:"dispatched_ns_per_op"`
+	// Speedup is PortableNsPerOp / DispatchedNsPerOp (1.0 when the dispatch
+	// resolves to the portable kernel itself).
+	Speedup float64 `json:"speedup"`
+}
+
+// arenaResult compares the steady-state heap allocations of one
+// pack→Gram→release batch cycle with and without the engine's slab arena.
+type arenaResult struct {
+	// Entries is the packed-word count rebuilt per cycle.
+	Entries int `json:"entries"`
+	// AllocsPlain and AllocsArena are mean mallocs per cycle.
+	AllocsPlain float64 `json:"allocs_plain"`
+	AllocsArena float64 `json:"allocs_arena"`
+	// Reduction is AllocsPlain / AllocsArena (>1 means the arena removed
+	// steady-state allocations).
+	Reduction float64 `json:"reduction"`
+}
+
+// autotunePoint is one manually configured pipeline run of the
+// autotune comparison.
+type autotunePoint struct {
+	Label   string  `json:"label"`
+	Seconds float64 `json:"seconds"`
+}
+
+// autotuneResult compares a zero-flag autotuned engine run against a grid
+// of hand-tuned configurations on the same dataset — the acceptance
+// question of the cost-model tuner: how close does "no flags at all" land
+// to the best manual configuration?
+type autotuneResult struct {
+	Samples    int             `json:"samples"`
+	Attributes uint64          `json:"attributes"`
+	Manual     []autotunePoint `json:"manual"`
+	// BestManualSeconds is the fastest hand-tuned run.
+	BestManualSeconds float64 `json:"best_manual_seconds"`
+	// AutotunedSeconds is the zero-flag autotuned run.
+	AutotunedSeconds float64 `json:"autotuned_seconds"`
+	// RatioVsBest is AutotunedSeconds / BestManualSeconds (≤1.10 means the
+	// tuner landed within 10% of the best manual configuration).
+	RatioVsBest float64 `json:"ratio_vs_best"`
+	// Plan summarises what the tuner chose.
+	Plan string `json:"plan"`
+}
+
 // artifact is the BENCH_kernels.json schema.
 type artifact struct {
 	Rows      int              `json:"rows"`
 	Cols      int              `json:"cols"`
 	CPUs      int              `json:"cpus"`
 	Results   []kernelResult   `json:"results"`
+	Dispatch  *dispatchResult  `json:"dispatch,omitempty"`
+	Arena     *arenaResult     `json:"arena,omitempty"`
+	Autotune  *autotuneResult  `json:"autotune,omitempty"`
 	Streaming *streamingResult `json:"streaming,omitempty"`
 }
 
@@ -152,6 +214,15 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	art.Dispatch = measureDispatch(out, *minTime, *rows, *cols)
+	art.Arena = measureArena(out, *rows, *cols)
+
+	tuned, err := measureAutotune(out, *quick)
+	if err != nil {
+		return err
+	}
+	art.Autotune = tuned
+
 	stream, err := measureStreamingVsGather(out, *quick)
 	if err != nil {
 		return err
@@ -167,6 +238,185 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "kernel benchmark artifact written to %s (%d points)\n", *outPath, len(art.Results))
 	return nil
+}
+
+// measureDispatch times the forced-dense ≥90%-occupancy Gram product under
+// the portable 8-way kernel and again under the runtime-dispatched best
+// kernel on the same matrix, recording the asm-vs-portable delta. The
+// dispatch is restored to the best kernel afterwards.
+func measureDispatch(out io.Writer, minTime time.Duration, rows, cols int) *dispatchResult {
+	const occ = 0.9
+	packed := buildPacked(13, rows, cols, occ, 1)
+	acc := sparse.NewDense[int64](packed.Cols, packed.Cols)
+
+	bitutil.ForcePortable()
+	portableNs := measure(minTime, func() { packed.GramAccumulateWorkers(acc, 1) })
+	kernel := bitutil.EnableBestKernel()
+	dispatchedNs := measure(minTime, func() { packed.GramAccumulateWorkers(acc, 1) })
+
+	res := &dispatchResult{
+		Kernel:            kernel,
+		Occupancy:         occ,
+		PortableNsPerOp:   portableNs,
+		DispatchedNsPerOp: dispatchedNs,
+	}
+	if dispatchedNs > 0 {
+		res.Speedup = portableNs / dispatchedNs
+	}
+	fmt.Fprintf(out, "kernel dispatch (occ=%.2f, dense): portable %.0f ns/op, %s %.0f ns/op, %.2fx\n",
+		occ, portableNs, kernel, dispatchedNs, res.Speedup)
+	return res
+}
+
+// measureArena counts heap allocations of one pack→Gram→release batch
+// cycle — the steady state of the engine's batch loop — with and without
+// the slab arena. Cycles are warmed first so the arena's free lists are
+// populated, then mallocs are read around a fixed cycle count.
+func measureArena(out io.Writer, rows, cols int) *arenaResult {
+	packed := buildPacked(17, rows, cols, 0.25, bitmat.DenseAuto)
+	entries := packed.Entries()
+	wordRows := packed.WordRows
+	acc := sparse.NewDense[int64](cols, cols)
+	ctx := context.Background()
+
+	// workers=1 keeps the cycle on the serial kernel: goroutine spawning
+	// would otherwise dominate the allocation count and hide the arena's
+	// effect on the buffer churn.
+	cycle := func(arena *bitmat.Arena) {
+		p := bitmat.FromEntriesThresholdArena(entries, wordRows, cols, 64, rows, bitmat.DenseAuto, arena)
+		if err := p.GramAccumulateCtxArena(ctx, acc, 1, arena); err != nil {
+			panic(err)
+		}
+		p.Release()
+	}
+	const iters = 20
+	allocsPer := func(arena *bitmat.Arena) float64 {
+		for i := 0; i < 3; i++ {
+			cycle(arena)
+		}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < iters; i++ {
+			cycle(arena)
+		}
+		runtime.ReadMemStats(&after)
+		return float64(after.Mallocs-before.Mallocs) / iters
+	}
+
+	res := &arenaResult{
+		Entries:     len(entries),
+		AllocsPlain: allocsPer(nil),
+		AllocsArena: allocsPer(bitmat.NewArena()),
+	}
+	if res.AllocsArena > 0 {
+		res.Reduction = res.AllocsPlain / res.AllocsArena
+	} else {
+		// The warm arena cycle allocates nothing; report the plain count as
+		// the (lower-bound) reduction factor instead of dividing by zero.
+		res.Reduction = res.AllocsPlain
+	}
+	fmt.Fprintf(out, "slab arena (%d entries/cycle): %.1f allocs/cycle plain, %.1f with arena, %.0fx fewer\n",
+		res.Entries, res.AllocsPlain, res.AllocsArena, res.Reduction)
+	return res
+}
+
+// measureAutotune runs the full sequential pipeline on one synthetic
+// dataset under a grid of hand-tuned configurations and once under the
+// zero-flag autotuned engine, recording how close the tuner lands to the
+// best manual point.
+func measureAutotune(out io.Writer, quick bool) (*autotuneResult, error) {
+	// Best-of-runs on both sides keeps scheduler noise out of the ratio —
+	// the quick dataset runs in tens of milliseconds, so even CI affords it.
+	n, m := 160, uint64(60_000)
+	const runs = 3
+	if quick {
+		n = 96
+	}
+	ds, err := syntheticDataset(23, n, m, 0.02)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+
+	bestOf := func(e *genomeatscale.Engine) (float64, *genomeatscale.Result, error) {
+		best := 0.0
+		var res *genomeatscale.Result
+		for i := 0; i < runs; i++ {
+			r, err := e.Similarity(ctx, ds)
+			if err != nil {
+				return 0, nil, err
+			}
+			if res == nil || r.Stats.TotalSeconds < best {
+				best, res = r.Stats.TotalSeconds, r
+			}
+		}
+		return best, res, nil
+	}
+
+	result := &autotuneResult{Samples: n, Attributes: m}
+	for _, batches := range []int{1, 4} {
+		for _, workers := range []int{1, 0} {
+			for _, dt := range []int{-1, 0} {
+				e, err := genomeatscale.NewEngine(
+					genomeatscale.WithBatches(batches),
+					genomeatscale.WithWorkers(workers),
+					genomeatscale.WithDenseThreshold(dt),
+				)
+				if err != nil {
+					return nil, err
+				}
+				secs, _, err := bestOf(e)
+				if err != nil {
+					return nil, err
+				}
+				label := fmt.Sprintf("batches=%d workers=%d dt=%d", batches, workers, dt)
+				result.Manual = append(result.Manual, autotunePoint{Label: label, Seconds: secs})
+				if result.BestManualSeconds == 0 || secs < result.BestManualSeconds {
+					result.BestManualSeconds = secs
+				}
+			}
+		}
+	}
+
+	auto, err := genomeatscale.NewEngine(genomeatscale.WithAutotune(true))
+	if err != nil {
+		return nil, err
+	}
+	secs, res, err := bestOf(auto)
+	if err != nil {
+		return nil, err
+	}
+	result.AutotunedSeconds = secs
+	if t := res.Stats.Tuning; t != nil {
+		result.Plan = fmt.Sprintf("procs=%d replication=%d batches=%d tile-rows=%d dense-threshold=%d",
+			t.Plan.Procs, t.Plan.Replication, t.Plan.Batches, t.Plan.TileRows, t.Plan.DenseThreshold)
+	}
+	if result.BestManualSeconds > 0 {
+		result.RatioVsBest = result.AutotunedSeconds / result.BestManualSeconds
+	}
+	fmt.Fprintf(out, "autotune (n=%d, m=%d): best manual %.4fs, autotuned %.4fs (%.2fx of best; plan %s)\n",
+		n, m, result.BestManualSeconds, result.AutotunedSeconds, result.RatioVsBest, result.Plan)
+	return result, nil
+}
+
+// syntheticDataset builds the uniform random dataset the engine-level
+// comparisons run on.
+func syntheticDataset(seed uint64, n int, m uint64, density float64) (genomeatscale.Dataset, error) {
+	rng := synth.NewRNG(seed)
+	names := make([]string, n)
+	samples := make([][]uint64, n)
+	for i := range samples {
+		names[i] = fmt.Sprintf("s%03d", i)
+		var vals []uint64
+		for a := uint64(0); a < m; a++ {
+			if rng.Float64() < density {
+				vals = append(vals, a)
+			}
+		}
+		samples[i] = vals
+	}
+	return genomeatscale.NewDataset(names, samples, m)
 }
 
 // measureStreamingVsGather runs the full pipeline on the artifact's

@@ -120,6 +120,7 @@ func run(args []string, out *os.File) error {
 		}
 		fmt.Fprintf(out, "streamed %d×%d Jaccard similarity run over m=%d attributes in %.3fs (%d tiles)\n",
 			res.N, res.N, m, res.Stats.TotalSeconds, res.Stats.TilesEmitted)
+		cliutil.PrintTuning(out, res.Stats.Tuning)
 		cliutil.PrintIngest(out, res.Stats.Ingest)
 		fmt.Fprintf(out, "\n%d retained sample pairs:\n", len(pairs))
 		return output.WritePairs(out, pairs)
@@ -142,6 +143,7 @@ func run(args []string, out *os.File) error {
 	}
 	fmt.Fprintf(out, "computed %d×%d Jaccard %s matrix over m=%d attributes in %.3fs\n",
 		res.N, res.N, label, m, res.Stats.TotalSeconds)
+	cliutil.PrintTuning(out, res.Stats.Tuning)
 	cliutil.PrintIngest(out, res.Stats.Ingest)
 
 	if *outPath != "" {

@@ -13,33 +13,63 @@ import (
 type Option func(*Options)
 
 // WithProcs sets the number of virtual BSP ranks; values above 1 select
-// the fully distributed pipeline.
-func WithProcs(p int) Option { return func(o *Options) { o.Procs = p } }
+// the fully distributed pipeline. Under WithAutotune this pins the rank
+// count: the tuner plans around it instead of choosing its own.
+func WithProcs(p int) Option {
+	return func(o *Options) { o.Procs = p; o.SetExplicit(core.FieldProcs) }
+}
 
 // WithWorkers sets the shared-memory worker-goroutine count per process
 // (0 = one per available CPU — a fair share per rank on the distributed
 // path — 1 = the exact serial kernels).
-func WithWorkers(w int) Option { return func(o *Options) { o.Workers = w } }
+func WithWorkers(w int) Option {
+	return func(o *Options) { o.Workers = w; o.SetExplicit(core.FieldWorkers) }
+}
 
 // WithBatches sets the number of row batches the indicator matrix is split
-// into (r in Eq. 3 of the paper).
-func WithBatches(r int) Option { return func(o *Options) { o.BatchCount = r } }
+// into (r in Eq. 3 of the paper). Pinned under WithAutotune.
+func WithBatches(r int) Option {
+	return func(o *Options) { o.BatchCount = r; o.SetExplicit(core.FieldBatchCount) }
+}
 
-// WithMaskBits sets the bitmask compression width b (1..64).
-func WithMaskBits(b int) Option { return func(o *Options) { o.MaskBits = b } }
+// WithMaskBits sets the bitmask compression width b (1..64). Pinned under
+// WithAutotune.
+func WithMaskBits(b int) Option {
+	return func(o *Options) { o.MaskBits = b; o.SetExplicit(core.FieldMaskBits) }
+}
 
 // WithDenseThreshold sets the stored-word count at which a packed column is
-// held as a dense slab (0 = auto, negative = always sparse).
-func WithDenseThreshold(t int) Option { return func(o *Options) { o.DenseThreshold = t } }
+// held as a dense slab (0 = auto, negative = always sparse). Pinned under
+// WithAutotune.
+func WithDenseThreshold(t int) Option {
+	return func(o *Options) { o.DenseThreshold = t; o.SetExplicit(core.FieldDenseThreshold) }
+}
 
 // WithReplication sets the processor-grid replication factor c of the
-// √(p/c) × √(p/c) × c layout.
-func WithReplication(c int) Option { return func(o *Options) { o.Replication = c } }
+// √(p/c) × √(p/c) × c layout. Pinned under WithAutotune.
+func WithReplication(c int) Option {
+	return func(o *Options) { o.Replication = c; o.SetExplicit(core.FieldReplication) }
+}
 
 // WithTileRows sets the row-band height of the tiles the sequential path
 // emits when streaming (0 = default). The distributed path's tiles are the
-// processor-grid result blocks and ignore this setting.
-func WithTileRows(r int) Option { return func(o *Options) { o.TileRows = r } }
+// processor-grid result blocks and ignore this setting. Pinned under
+// WithAutotune.
+func WithTileRows(r int) Option {
+	return func(o *Options) { o.TileRows = r; o.SetExplicit(core.FieldTileRows) }
+}
+
+// WithAutotune derives the run configuration from the dataset instead of
+// the defaults: each Similarity or Stream call samples the dataset's
+// dimensions and density, feeds them with the host profile (cores, memory
+// bandwidth, available memory — measured once in NewEngine) into the BSP
+// cost model, and picks the rank grid, replication, batch count, tile rows
+// and dense-storage threshold that minimise the predicted time. Options
+// set through the other With* functions are pinned: the tuner plans around
+// them. The decisions, the sampled statistics and the model's predictions
+// are recorded in Result.Stats.Tuning. Tuning never changes results — only
+// how they are computed.
+func WithAutotune(on bool) Option { return func(o *Options) { o.Autotune = on } }
 
 // WithSkipGather controls the legacy stats-only mode of Engine.Similarity:
 // when set, the full matrices are not assembled. Engine.Stream with the

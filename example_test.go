@@ -97,6 +97,30 @@ func ExampleCollectFull() {
 	// byte-identical: true
 }
 
+// ExampleWithAutotune lets the cost model choose the run configuration
+// from the dataset and the host, pinning only the batch count. The results
+// are identical to any manual configuration; what the tuner decided is
+// recorded in the run statistics.
+func ExampleWithAutotune() {
+	engine, err := genomeatscale.NewEngine(
+		genomeatscale.WithAutotune(true),
+		genomeatscale.WithBatches(2), // pinned: the tuner plans around it
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.Similarity(context.Background(), exampleDataset())
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := res.Stats.Tuning
+	fmt.Printf("J(alpha, beta) = %.3f\n", res.Similarity(0, 1))
+	fmt.Printf("tuned: procs=%d batches=%d, pinned: %v\n", t.Plan.Procs, t.Plan.Batches, t.Pinned)
+	// Output:
+	// J(alpha, beta) = 0.667
+	// tuned: procs=1 batches=2, pinned: [batches]
+}
+
 // ExampleThreshold retains the near-duplicate pairs above a similarity
 // cutoff while the run streams.
 func ExampleThreshold() {

@@ -40,6 +40,12 @@ type Options = core.Options
 // statistics (including exact communication volumes for distributed runs).
 type Result = core.Result
 
+// TuningReport records what an autotuned run (WithAutotune) decided and
+// why: the host profile, the sampled dataset statistics, the chosen plan
+// with the cost model's predictions, and which dimensions the caller had
+// pinned. Found on Result.Stats.Tuning.
+type TuningReport = core.TuningReport
+
 // NewDataset builds a dataset from raw attribute lists; values are sorted
 // and de-duplicated, names may be nil.
 func NewDataset(names []string, samples [][]uint64, numAttributes uint64) (*InMemoryDataset, error) {

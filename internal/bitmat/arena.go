@@ -1,0 +1,185 @@
+package bitmat
+
+import "sync"
+
+// Arena recycles the hot-path buffers of the per-batch pipeline so the
+// steady state of a multi-batch run allocates ~nothing: the backing slices
+// of each batch's packed matrix (column pointers, sparse streams, dense
+// slabs) and the per-tile Gram accumulators. It deliberately is not a
+// sync.Pool — pooled buffers must survive GC cycles between batches, and
+// the owner (the engine) wants deterministic reuse, not best-effort
+// caching — just mutex-guarded free lists plus per-worker tile slots.
+//
+// Ownership protocol: FromEntriesThresholdArena draws a matrix's buffers
+// from the arena; Packed.Release returns them once the batch's Gram
+// accumulation is done. The per-worker tile accumulators never leave the
+// arena — each pool worker borrows its slot for the duration of one
+// GramAccumulate call (worker indices are unique within a call, see
+// par.ForEachWorkerCtx), and consecutive calls reuse the slots.
+//
+// One arena must not be shared by two concurrent runs: the per-worker tile
+// slots are indexed by pool-worker position, which only distinct calls of
+// the same (serial) batch loop may reuse. The engine keeps a free list of
+// whole arenas and checks one out per run.
+type Arena struct {
+	mu      sync.Mutex
+	ints    [][]int
+	words   [][]uint64
+	specs   []tileSpec
+	packeds []*Packed
+
+	// tiles[w] is worker w's tile accumulator; sized by ensureWorkers
+	// before a pool starts, then accessed without locking (one worker per
+	// slot).
+	tiles [][]int64
+}
+
+// NewArena returns an empty arena. A nil *Arena is valid everywhere an
+// arena is accepted and means "allocate fresh" (the historical behaviour).
+func NewArena() *Arena { return &Arena{} }
+
+// getInts returns a zeroed []int of length n from the free list (or fresh).
+func (a *Arena) getInts(n int) []int {
+	s := a.getIntsCap(n)[:n]
+	clear(s)
+	return s
+}
+
+// getIntsCap returns an empty []int with capacity at least n.
+func (a *Arena) getIntsCap(n int) []int {
+	if a == nil {
+		return make([]int, 0, n)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := len(a.ints) - 1; i >= 0; i-- {
+		if cap(a.ints[i]) >= n {
+			s := a.ints[i]
+			a.ints[i] = a.ints[len(a.ints)-1]
+			a.ints = a.ints[:len(a.ints)-1]
+			return s[:0]
+		}
+	}
+	return make([]int, 0, n)
+}
+
+// getWords returns a zeroed []uint64 of length n from the free list.
+func (a *Arena) getWords(n int) []uint64 {
+	s := a.getWordsCap(n)[:n]
+	clear(s)
+	return s
+}
+
+// getWordsCap returns an empty []uint64 with capacity at least n.
+func (a *Arena) getWordsCap(n int) []uint64 {
+	if a == nil {
+		return make([]uint64, 0, n)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := len(a.words) - 1; i >= 0; i-- {
+		if cap(a.words[i]) >= n {
+			s := a.words[i]
+			a.words[i] = a.words[len(a.words)-1]
+			a.words = a.words[:len(a.words)-1]
+			return s[:0]
+		}
+	}
+	return make([]uint64, 0, n)
+}
+
+func (a *Arena) putInts(ss ...[]int) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, s := range ss {
+		if cap(s) > 0 {
+			a.ints = append(a.ints, s[:0])
+		}
+	}
+}
+
+func (a *Arena) putWords(ss ...[]uint64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, s := range ss {
+		if cap(s) > 0 {
+			a.words = append(a.words, s[:0])
+		}
+	}
+}
+
+// getPacked returns a zeroed *Packed from the free list (or fresh), so the
+// header struct itself is recycled along with its buffers.
+func (a *Arena) getPacked() *Packed {
+	if a == nil {
+		return &Packed{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n := len(a.packeds); n > 0 {
+		p := a.packeds[n-1]
+		a.packeds = a.packeds[:n-1]
+		*p = Packed{}
+		return p
+	}
+	return &Packed{}
+}
+
+func (a *Arena) putPacked(p *Packed) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.packeds = append(a.packeds, p)
+}
+
+// getSpecs returns the reusable tile-spec buffer (callers store the grown
+// slice back with putSpecs once the tile list is no longer referenced).
+func (a *Arena) getSpecs() []tileSpec {
+	if a == nil {
+		return nil
+	}
+	return a.specs[:0]
+}
+
+func (a *Arena) putSpecs(s []tileSpec) {
+	if a != nil {
+		a.specs = s
+	}
+}
+
+// ensureWorkers sizes the per-worker tile-slot table for a pool of k
+// workers. Must be called before the pool starts (it is not safe
+// concurrently with workerTile).
+func (a *Arena) ensureWorkers(k int) {
+	if a == nil {
+		return
+	}
+	for len(a.tiles) < k {
+		a.tiles = append(a.tiles, nil)
+	}
+}
+
+// workerTile returns worker w's zeroed tile accumulator of length n,
+// growing the slot if this tile is larger than any the worker has seen.
+// Callers must have sized the table with ensureWorkers(k>w); distinct
+// workers touch distinct slots, so no locking is needed.
+func (a *Arena) workerTile(w, n int) []int64 {
+	if a == nil {
+		return make([]int64, n)
+	}
+	if cap(a.tiles[w]) < n {
+		a.tiles[w] = make([]int64, n)
+		return a.tiles[w]
+	}
+	s := a.tiles[w][:n]
+	clear(s)
+	return s
+}

@@ -86,6 +86,10 @@ type Packed struct {
 	denseOff []int
 	slab     []uint64
 	slabNNZ  int // number of nonzero words stored in slab
+
+	// arena, when non-nil, is the Arena this matrix's backing buffers were
+	// drawn from (FromEntriesThresholdArena); Release returns them to it.
+	arena *Arena
 }
 
 // DenseThresholdSpec returns the dense-threshold spec (DenseAuto, DenseNever
@@ -109,6 +113,37 @@ func (p *Packed) DenseCols() int {
 // layouts. (Zero words never survive densification, and the packing paths
 // never emit them.)
 func (p *Packed) NNZWords() int { return len(p.words) + p.slabNNZ }
+
+// WordOccupancy returns the fraction of the WordRows×Cols packed word grid
+// holding a nonzero stored word. This is the measured counterpart of the
+// occupancy the autotuner predicts from the dataset's nonzero density when
+// choosing the storage layout (costmodel); the engine's tuning report
+// records both so mispredictions are visible.
+func (p *Packed) WordOccupancy() float64 {
+	cells := float64(p.WordRows) * float64(p.Cols)
+	if cells == 0 {
+		return 0
+	}
+	return float64(p.NNZWords()) / cells
+}
+
+// Release returns the matrix's backing buffers to the Arena it was built
+// from (FromEntriesThresholdArena) and leaves the matrix empty. The caller
+// must not use the matrix, or any view of it, afterwards. Matrices built
+// without an arena ignore the call.
+func (p *Packed) Release() {
+	if p.arena == nil {
+		return
+	}
+	p.arena.putInts(p.colPtr, p.wordRow, p.denseOff)
+	p.arena.putWords(p.words, p.slab)
+	p.colPtr, p.wordRow, p.denseOff = nil, nil, nil
+	p.words, p.slab = nil, nil
+	p.slabNNZ = 0
+	arena := p.arena
+	p.arena = nil
+	arena.putPacked(p)
+}
 
 // PopcountTotal returns the total number of set bits, i.e. the number of
 // indicator nonzeros represented by the packed matrix.
@@ -183,8 +218,8 @@ func (p *Packed) densify() {
 	if numDense == 0 {
 		return
 	}
-	p.denseOff = make([]int, p.Cols)
-	p.slab = make([]uint64, numDense*p.WordRows)
+	p.denseOff = p.arena.getInts(p.Cols)
+	p.slab = p.arena.getWords(numDense * p.WordRows)
 	off, w := 0, 0
 	lo := p.colPtr[0]
 	for j := 0; j < p.Cols; j++ {

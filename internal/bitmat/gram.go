@@ -34,14 +34,15 @@ func (p *Packed) view(j int) colView {
 }
 
 // pairPopcount dispatches one Gram cell to the kernel matching the two
-// columns' layouts: dense×dense runs the straight unrolled AND+popcount
-// loop, dense×sparse gathers by the sparse side's word-row indices, and
+// columns' layouts: dense×dense runs the dispatched slab AND+popcount
+// kernel (portable 8-way or AVX-512 VPOPCNTQ, see bitutil.Kernel),
+// dense×sparse gathers by the sparse side's word-row indices, and
 // sparse×sparse keeps the historical index merge. All three compute the
 // same Σ popcount(vi ∧ vj), so the result is independent of the layout.
 func pairPopcount(a, b colView) int {
 	switch {
 	case a.dense != nil && b.dense != nil:
-		return densePopcountAnd(a.dense, b.dense)
+		return bitutil.PopcountAndSlice(a.dense, b.dense)
 	case a.dense != nil:
 		return gatherPopcountAnd(a.dense, b.wr, b.ws)
 	case b.dense != nil:
@@ -49,28 +50,6 @@ func pairPopcount(a, b colView) int {
 	default:
 		return mergePopcount(a.wr, a.ws, b.wr, b.ws)
 	}
-}
-
-// densePopcountAnd accumulates popcount(a[k] & b[k]) over two equal-length
-// dense word slabs. The 4-way unrolling keeps four independent popcount
-// chains in flight; there are no index comparisons at all.
-func densePopcountAnd(a, b []uint64) int {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	var a0, a1, a2, a3 int
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		a0 += bitutil.PopcountAnd(a[i], b[i])
-		a1 += bitutil.PopcountAnd(a[i+1], b[i+1])
-		a2 += bitutil.PopcountAnd(a[i+2], b[i+2])
-		a3 += bitutil.PopcountAnd(a[i+3], b[i+3])
-	}
-	for ; i < n; i++ {
-		a0 += bitutil.PopcountAnd(a[i], b[i])
-	}
-	return a0 + a1 + a2 + a3
 }
 
 // gatherPopcountAnd accumulates popcount(dense[wr[k]] & ws[k]): the sparse
@@ -133,7 +112,7 @@ func (p *Packed) GramAccumulate(into *sparse.Dense[int64]) {
 // Every cell dispatches through pairPopcount, so the kernel choice follows
 // the two columns' storage layouts.
 func (p *Packed) GramAccumulateWorkers(into *sparse.Dense[int64], workers int) {
-	p.gramAccumulate(nil, into, workers)
+	p.gramAccumulate(nil, into, workers, nil)
 }
 
 // GramAccumulateCtx is GramAccumulateWorkers with cooperative cancellation:
@@ -145,10 +124,20 @@ func (p *Packed) GramAccumulateWorkers(into *sparse.Dense[int64], workers int) {
 // does not change the result. A nil or never-cancellable context is exactly
 // GramAccumulateWorkers.
 func (p *Packed) GramAccumulateCtx(ctx context.Context, into *sparse.Dense[int64], workers int) error {
-	return p.gramAccumulate(ctx, into, workers)
+	return p.gramAccumulate(ctx, into, workers, nil)
 }
 
-func (p *Packed) gramAccumulate(ctx context.Context, into *sparse.Dense[int64], workers int) error {
+// GramAccumulateCtxArena is GramAccumulateCtx drawing its transient buffers
+// — the tile list and the per-worker tile accumulators — from an Arena, so
+// a batch loop that calls it repeatedly allocates nothing in steady state.
+// The result is bit-identical to the arena-free paths; a nil arena is
+// exactly GramAccumulateCtx. The arena must not be shared with a concurrent
+// Gram call (see Arena).
+func (p *Packed) GramAccumulateCtxArena(ctx context.Context, into *sparse.Dense[int64], workers int, arena *Arena) error {
+	return p.gramAccumulate(ctx, into, workers, arena)
+}
+
+func (p *Packed) gramAccumulate(ctx context.Context, into *sparse.Dense[int64], workers int, arena *Arena) error {
 	if into.Rows != p.Cols || into.Cols != p.Cols {
 		panic(fmt.Sprintf("bitmat: Gram accumulator shape %dx%d, want %dx%d", into.Rows, into.Cols, p.Cols, p.Cols))
 	}
@@ -162,18 +151,19 @@ func (p *Packed) gramAccumulate(ctx context.Context, into *sparse.Dense[int64], 
 		nt := (p.Cols + e - 1) / e
 		return nt * (nt + 1) / 2
 	})
-	var tiles []tileSpec
+	tiles := arena.getSpecs()
 	for i0 := 0; i0 < p.Cols; i0 += edge {
 		i1 := min(i0+edge, p.Cols)
 		for j0 := i0; j0 < p.Cols; j0 += edge {
 			tiles = append(tiles, tileSpec{i0, i1, j0, min(j0+edge, p.Cols)})
 		}
 	}
+	arena.ensureWorkers(min(workers, len(tiles)))
 	stride := into.Cols
-	return par.ForEachCtx(ctx, workers, len(tiles), func(k int) {
+	err := par.ForEachWorkerCtx(ctx, workers, len(tiles), func(w, k int) {
 		t := tiles[k]
 		tw := t.j1 - t.j0
-		slab := make([]int64, (t.i1-t.i0)*tw)
+		slab := arena.workerTile(w, (t.i1-t.i0)*tw)
 		for i := t.i0; i < t.i1; i++ {
 			vi := p.view(i)
 			if vi.empty() {
@@ -202,6 +192,8 @@ func (p *Packed) gramAccumulate(ctx context.Context, into *sparse.Dense[int64], 
 			}
 		}
 	})
+	arena.putSpecs(tiles)
+	return err
 }
 
 // gramAccumulateSerial is the historical single-threaded kernel, with the
@@ -525,6 +517,16 @@ func FromEntries(entries []PackedEntry, wordRows, cols, b, activeRows int) *Pack
 
 // FromEntriesThreshold is FromEntries with an explicit dense-threshold spec.
 func FromEntriesThreshold(entries []PackedEntry, wordRows, cols, b, activeRows, denseThreshold int) *Packed {
+	return FromEntriesThresholdArena(entries, wordRows, cols, b, activeRows, denseThreshold, nil)
+}
+
+// FromEntriesThresholdArena is FromEntriesThreshold drawing the matrix's
+// backing buffers (column pointers, sparse streams, dense slabs) from an
+// Arena so a per-batch rebuild loop reuses one generation's buffers for the
+// next. The caller must call Release on the returned matrix once it is done
+// with it; a nil arena is exactly FromEntriesThreshold. The layout and
+// contents are identical to the arena-free construction.
+func FromEntriesThresholdArena(entries []PackedEntry, wordRows, cols, b, activeRows, denseThreshold int, arena *Arena) *Packed {
 	sorted := true
 	for i, e := range entries {
 		if e.Col < 0 || e.Col >= cols || e.WordRow < 0 || e.WordRow >= wordRows {
@@ -535,17 +537,17 @@ func FromEntriesThreshold(entries []PackedEntry, wordRows, cols, b, activeRows, 
 			sorted = false
 		}
 	}
-	out := &Packed{
-		WordRows:   wordRows,
-		Cols:       cols,
-		B:          b,
-		ActiveRows: activeRows,
-		threshold:  denseThreshold,
-		colPtr:     make([]int, cols+1),
-	}
+	out := arena.getPacked()
+	out.WordRows = wordRows
+	out.Cols = cols
+	out.B = b
+	out.ActiveRows = activeRows
+	out.threshold = denseThreshold
+	out.colPtr = arena.getInts(cols + 1)
+	out.arena = arena
 	if sorted {
-		out.wordRow = make([]int, 0, len(entries))
-		out.words = make([]uint64, 0, len(entries))
+		out.wordRow = arena.getIntsCap(len(entries))
+		out.words = arena.getWordsCap(len(entries))
 		for i := 0; i < len(entries); {
 			e := entries[i]
 			word := e.Word
@@ -564,6 +566,8 @@ func FromEntriesThreshold(entries []PackedEntry, wordRows, cols, b, activeRows, 
 		out.densify()
 		return out
 	}
+	out.wordRow = arena.getIntsCap(len(entries))
+	out.words = arena.getWordsCap(len(entries))
 	perCol := make([]map[int]uint64, cols)
 	for _, e := range entries {
 		if perCol[e.Col] == nil {

@@ -1,0 +1,76 @@
+//go:build amd64 && !noasm
+
+package bitutil
+
+import "os"
+
+// Declarations for the assembly routines in popcnt_amd64.s.
+func cpuid(op, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+func popcntAndSliceAsm(a, b *uint64, n int) int64
+func popcntSliceAsm(a *uint64, n int) int64
+
+// avx512Impl is the assembly kernel, registered when the host supports it.
+var avx512Impl = &kernelImpl{
+	name:     "avx512-vpopcntq",
+	andSlice: popcountAndSliceAVX512,
+	slice:    popcountSliceAVX512,
+}
+
+func popcountAndSliceAVX512(a, b []uint64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	return int(popcntAndSliceAsm(&a[0], &b[0], n))
+}
+
+func popcountSliceAVX512(xs []uint64) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	return int(popcntSliceAsm(&xs[0], len(xs)))
+}
+
+// asmKernelSupported reports whether the host can run the VPOPCNTQ kernel:
+// AVX-512F and AVX-512VPOPCNTDQ in CPUID leaf 7, with the OS saving
+// xmm/ymm/zmm state (OSXSAVE plus the XCR0 bits 1, 2 and 5–7).
+func asmKernelSupported() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	if c1&osxsave == 0 {
+		return false
+	}
+	const xcr0AVX512 = 0xe6 // SSE | AVX | opmask | zmm_hi256 | hi16_zmm
+	if eax, _ := xgetbv0(); eax&xcr0AVX512 != xcr0AVX512 {
+		return false
+	}
+	_, b7, c7, _ := cpuid(7, 0)
+	const avx512f = 1 << 16
+	const avx512vpopcntdq = 1 << 14
+	return b7&avx512f != 0 && c7&avx512vpopcntdq != 0
+}
+
+func init() {
+	if os.Getenv("GENOMEATSCALE_NOASM") == "" && asmKernelSupported() {
+		activeImpl.Store(avx512Impl)
+	}
+}
+
+// EnableBestKernel re-installs the best kernel the host supports (undoing
+// ForcePortable). It reports the name of the kernel now active.
+func EnableBestKernel() string {
+	if os.Getenv("GENOMEATSCALE_NOASM") == "" && asmKernelSupported() {
+		activeImpl.Store(avx512Impl)
+	} else {
+		activeImpl.Store(portableImpl)
+	}
+	return Kernel()
+}

@@ -1,0 +1,149 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// func cpuid(op, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL op+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func popcntAndSliceAsm(a, b *uint64, n int) int64
+//
+// Sum of popcount(a[i] & b[i]) over i in [0, n) with AVX-512 VPOPCNTQ:
+// 16 words per iteration on two independent zmm accumulator chains, an
+// 8-word cleanup loop, and a scalar POPCNTQ tail for misaligned lengths.
+// Loads are unaligned (VMOVDQU64), so callers need no slab alignment.
+// Callers must have verified AVX-512F + AVX-512VPOPCNTDQ support.
+TEXT ·popcntAndSliceAsm(SB), NOSPLIT, $64-32
+	MOVQ   a+0(FP), SI
+	MOVQ   b+8(FP), DI
+	MOVQ   n+16(FP), CX
+	XORQ   AX, AX
+	VPXORQ Z3, Z3, Z3
+	VPXORQ Z4, Z4, Z4
+
+loop16:
+	CMPQ      CX, $16
+	JL        loop8
+	VMOVDQU64 (SI), Z0
+	VMOVDQU64 64(SI), Z1
+	VPANDQ    (DI), Z0, Z0
+	VPANDQ    64(DI), Z1, Z1
+	VPOPCNTQ  Z0, Z0
+	VPOPCNTQ  Z1, Z1
+	VPADDQ    Z0, Z3, Z3
+	VPADDQ    Z1, Z4, Z4
+	ADDQ      $128, SI
+	ADDQ      $128, DI
+	SUBQ      $16, CX
+	JMP       loop16
+
+loop8:
+	CMPQ      CX, $8
+	JL        reduce
+	VMOVDQU64 (SI), Z0
+	VPANDQ    (DI), Z0, Z0
+	VPOPCNTQ  Z0, Z0
+	VPADDQ    Z0, Z3, Z3
+	ADDQ      $64, SI
+	ADDQ      $64, DI
+	SUBQ      $8, CX
+
+reduce:
+	VPADDQ    Z4, Z3, Z3
+	VMOVDQU64 Z3, (SP)
+	VZEROUPPER
+	ADDQ      0(SP), AX
+	ADDQ      8(SP), AX
+	ADDQ      16(SP), AX
+	ADDQ      24(SP), AX
+	ADDQ      32(SP), AX
+	ADDQ      40(SP), AX
+	ADDQ      48(SP), AX
+	ADDQ      56(SP), AX
+
+tail:
+	TESTQ   CX, CX
+	JZ      done
+	MOVQ    (SI), DX
+	ANDQ    (DI), DX
+	POPCNTQ DX, DX
+	ADDQ    DX, AX
+	ADDQ    $8, SI
+	ADDQ    $8, DI
+	DECQ    CX
+	JMP     tail
+
+done:
+	MOVQ AX, ret+24(FP)
+	RET
+
+// func popcntSliceAsm(a *uint64, n int) int64
+//
+// Sum of popcount(a[i]) over i in [0, n); same structure as
+// popcntAndSliceAsm without the AND operand.
+TEXT ·popcntSliceAsm(SB), NOSPLIT, $64-24
+	MOVQ   a+0(FP), SI
+	MOVQ   n+8(FP), CX
+	XORQ   AX, AX
+	VPXORQ Z3, Z3, Z3
+	VPXORQ Z4, Z4, Z4
+
+loop16:
+	CMPQ     CX, $16
+	JL       loop8
+	VPOPCNTQ (SI), Z0
+	VPOPCNTQ 64(SI), Z1
+	VPADDQ   Z0, Z3, Z3
+	VPADDQ   Z1, Z4, Z4
+	ADDQ     $128, SI
+	SUBQ     $16, CX
+	JMP      loop16
+
+loop8:
+	CMPQ     CX, $8
+	JL       reduce
+	VPOPCNTQ (SI), Z0
+	VPADDQ   Z0, Z3, Z3
+	ADDQ     $64, SI
+	SUBQ     $8, CX
+
+reduce:
+	VPADDQ    Z4, Z3, Z3
+	VMOVDQU64 Z3, (SP)
+	VZEROUPPER
+	ADDQ      0(SP), AX
+	ADDQ      8(SP), AX
+	ADDQ      16(SP), AX
+	ADDQ      24(SP), AX
+	ADDQ      32(SP), AX
+	ADDQ      40(SP), AX
+	ADDQ      48(SP), AX
+	ADDQ      56(SP), AX
+
+tail:
+	TESTQ   CX, CX
+	JZ      done
+	POPCNTQ (SI), DX
+	ADDQ    DX, AX
+	ADDQ    $8, SI
+	DECQ    CX
+	JMP     tail
+
+done:
+	MOVQ AX, ret+16(FP)
+	RET

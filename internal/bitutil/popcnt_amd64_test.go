@@ -1,0 +1,24 @@
+//go:build amd64 && !noasm
+
+package bitutil
+
+// asmKernels exposes the assembly AND+popcount kernel to the differential
+// tests when the host supports it; on incapable hosts the map is empty and
+// the tests cover the portable kernels only.
+func asmKernels() map[string]func(a, b []uint64) int {
+	if !asmKernelSupported() {
+		return nil
+	}
+	return map[string]func(a, b []uint64) int{
+		"avx512-vpopcntq": popcountAndSliceAVX512,
+	}
+}
+
+func asmSliceKernels() map[string]func([]uint64) int {
+	if !asmKernelSupported() {
+		return nil
+	}
+	return map[string]func([]uint64) int{
+		"avx512-vpopcntq": popcountSliceAVX512,
+	}
+}

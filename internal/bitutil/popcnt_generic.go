@@ -1,0 +1,14 @@
+//go:build !amd64 || noasm
+
+package bitutil
+
+// No assembly kernel on this target (non-amd64 architecture or a `-tags
+// noasm` build): the portable 8-way kernel installed at init stays active.
+
+// EnableBestKernel re-installs the best kernel the build supports — on
+// this target, the portable 8-way kernel. It reports the name of the
+// kernel now active.
+func EnableBestKernel() string {
+	activeImpl.Store(portableImpl)
+	return Kernel()
+}

@@ -1,0 +1,9 @@
+//go:build !amd64 || noasm
+
+package bitutil
+
+// No assembly kernels in this build; the differential tests cover the
+// portable kernels only.
+func asmKernels() map[string]func(a, b []uint64) int { return nil }
+
+func asmSliceKernels() map[string]func([]uint64) int { return nil }

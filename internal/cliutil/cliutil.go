@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	genomeatscale "genomeatscale"
 	"genomeatscale/internal/core"
@@ -38,6 +39,9 @@ type ComputeFlags struct {
 	TileRows       *int
 	TopK           *int
 	Threshold      *float64
+	Auto           *bool
+
+	fs *flag.FlagSet
 }
 
 // BindCompute registers the shared flags on fs and returns their handles.
@@ -52,12 +56,28 @@ func BindCompute(fs *flag.FlagSet) *ComputeFlags {
 		TileRows:       fs.Int("tile-rows", 0, "row-band height of streamed output tiles on the sequential path (0 = default)"),
 		TopK:           fs.Int("top-k", 0, "stream only the k most similar sample pairs instead of gathering the full matrix (0 = off)"),
 		Threshold:      fs.Float64("threshold", -1, "stream only the sample pairs with similarity at or above this value instead of gathering the full matrix (negative = off)"),
+		Auto:           fs.Bool("auto", false, "autotune the run configuration from the dataset and host via the BSP cost model; engine flags given explicitly are pinned"),
+		fs:             fs,
 	}
 }
 
-// Options assembles a core.Options from the bound flag values.
+// explicitField maps each engine-configuration flag name to the Options
+// field it pins under -auto.
+var explicitField = map[string]core.OptField{
+	"procs":           core.FieldProcs,
+	"batches":         core.FieldBatchCount,
+	"mask-bits":       core.FieldMaskBits,
+	"replication":     core.FieldReplication,
+	"workers":         core.FieldWorkers,
+	"dense-threshold": core.FieldDenseThreshold,
+	"tile-rows":       core.FieldTileRows,
+}
+
+// Options assembles a core.Options from the bound flag values. Flags the
+// user passed on the command line (as opposed to defaults) are marked
+// explicit, so -auto plans around them instead of overriding them.
 func (f *ComputeFlags) Options() core.Options {
-	return core.Options{
+	o := core.Options{
 		BatchCount:     *f.Batches,
 		MaskBits:       *f.MaskBits,
 		Procs:          *f.Procs,
@@ -65,7 +85,34 @@ func (f *ComputeFlags) Options() core.Options {
 		Workers:        *f.Workers,
 		DenseThreshold: *f.DenseThreshold,
 		TileRows:       *f.TileRows,
+		Autotune:       *f.Auto,
 	}
+	f.fs.Visit(func(fl *flag.Flag) {
+		if field, ok := explicitField[fl.Name]; ok {
+			o.SetExplicit(field)
+		}
+	})
+	return o
+}
+
+// PrintTuning reports the decisions of an autotuned run; it prints nothing
+// when the run carried no tuning report (autotuning off).
+func PrintTuning(w io.Writer, t *core.TuningReport) {
+	if t == nil {
+		return
+	}
+	fmt.Fprintf(w, "autotune: %s; sampled %d columns (density %.3g); plan procs=%d replication=%d batches=%d tile-rows=%d dense-threshold=%d (predicted %.3gs, occupancy %.3g",
+		t.Machine, t.SampledColumns, t.Stats.Density,
+		t.Plan.Procs, t.Plan.Replication, t.Plan.Batches, t.Plan.TileRows, t.Plan.DenseThreshold,
+		t.Plan.PredictedSeconds, t.Plan.PredictedOccupancy)
+	if t.MeasuredOccupancy > 0 {
+		fmt.Fprintf(w, ", measured %.3g", t.MeasuredOccupancy)
+	}
+	fmt.Fprint(w, ")")
+	if len(t.Pinned) > 0 {
+		fmt.Fprintf(w, "; pinned: %s", strings.Join(t.Pinned, ", "))
+	}
+	fmt.Fprintln(w)
 }
 
 // Engine builds a reusable engine from the bound flag values.

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	genomeatscale "genomeatscale"
+	"genomeatscale/internal/core"
 	"genomeatscale/internal/sparse"
 )
 
@@ -87,6 +88,61 @@ func TestStreamPairsTopKAndThreshold(t *testing.T) {
 	}
 	if _, _, err := f3.StreamPairs(context.Background(), ds); err == nil {
 		t.Error("StreamPairs without -top-k/-threshold must error")
+	}
+}
+
+func TestAutoFlagPinsExplicitFlags(t *testing.T) {
+	fs := NewFlagSet("test")
+	f := BindCompute(fs)
+	if err := fs.Parse([]string{"-auto", "-batches", "3", "-mask-bits", "32"}); err != nil {
+		t.Fatal(err)
+	}
+	opts := f.Options()
+	if !opts.Autotune {
+		t.Fatal("-auto did not enable autotuning")
+	}
+	if !opts.IsExplicit(core.FieldBatchCount) || !opts.IsExplicit(core.FieldMaskBits) {
+		t.Error("flags passed on the command line must be marked explicit")
+	}
+	if opts.IsExplicit(core.FieldProcs) || opts.IsExplicit(core.FieldDenseThreshold) {
+		t.Error("flags left at their defaults must not be marked explicit")
+	}
+
+	// Without -auto no tuning, but explicit marks are still recorded (they
+	// are inert).
+	fs2 := NewFlagSet("test")
+	f2 := BindCompute(fs2)
+	if err := fs2.Parse([]string{"-procs", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	opts2 := f2.Options()
+	if opts2.Autotune {
+		t.Error("autotuning on without -auto")
+	}
+	if !opts2.IsExplicit(core.FieldProcs) {
+		t.Error("-procs not marked explicit")
+	}
+}
+
+func TestPrintTuning(t *testing.T) {
+	var buf bytes.Buffer
+	PrintTuning(&buf, nil)
+	if buf.Len() != 0 {
+		t.Error("nil report must print nothing")
+	}
+	rep := &core.TuningReport{
+		Machine:        "test-host",
+		SampledColumns: 8,
+		Pinned:         []string{"batches"},
+	}
+	rep.Plan.Procs = 1
+	rep.Plan.Batches = 3
+	PrintTuning(&buf, rep)
+	s := buf.String()
+	for _, want := range []string{"test-host", "procs=1", "batches=3", "pinned: batches"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("tuning report output missing %q:\n%s", want, s)
+		}
 	}
 }
 

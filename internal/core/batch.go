@@ -98,9 +98,13 @@ func sliceBatch(ds DatasetV2, cols []int, lo, hi uint64) ([]batchColumn, []int64
 // intermediate allocation, exactly the historical serial path. Both paths
 // poll ctx between columns, so a cancelled run abandons the pack mid-batch
 // and returns ctx.Err().
-func packBatch(ctx context.Context, columns []batchColumn, nonzero []int64, lo uint64, maskBits, workers int) ([]bitmat.PackedEntry, error) {
+//
+// reuse, when non-nil, is an empty slice whose backing array the emitted
+// entries may grow into — the engine's batch loop passes the previous
+// batch's (consumed) entry slice so steady state re-packs in place.
+func packBatch(ctx context.Context, columns []batchColumn, nonzero []int64, lo uint64, maskBits, workers int, reuse []bitmat.PackedEntry) ([]bitmat.PackedEntry, error) {
 	if par.Resolve(workers) <= 1 || len(columns) <= 1 {
-		var entries []bitmat.PackedEntry
+		entries := reuse[:0]
 		var err error
 		for _, cr := range columns {
 			if ctx != nil {
@@ -128,7 +132,10 @@ func packBatch(ctx context.Context, columns []batchColumn, nonzero []int64, lo u
 		}
 		total += len(perCol[k])
 	}
-	entries := make([]bitmat.PackedEntry, 0, total)
+	entries := reuse[:0]
+	if cap(entries) < total {
+		entries = make([]bitmat.PackedEntry, 0, total)
+	}
 	for _, part := range perCol {
 		entries = append(entries, part...)
 	}

@@ -16,5 +16,9 @@ func Compute(ds Dataset, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.computeDist(context.Background(), ds, nil)
+	cfg, err := e.configFor(ds)
+	if err != nil {
+		return nil, err
+	}
+	return e.computeDist(context.Background(), ds, nil, cfg)
 }

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"genomeatscale/internal/bitmat"
 	"genomeatscale/internal/bsp"
+	"genomeatscale/internal/costmodel"
 	"genomeatscale/internal/dist"
 	"genomeatscale/internal/grid"
 	"genomeatscale/internal/par"
@@ -27,27 +29,44 @@ type TileSink = tile.Sink
 // processor-grid layout, and the shared-memory worker-pool sizing for both
 // execution paths — are made once at construction and amortised across
 // calls; Similarity and Stream are then safe to invoke repeatedly and
-// concurrently from multiple goroutines (the engine itself is immutable).
+// concurrently from multiple goroutines. With Options.Autotune those
+// decisions move to run time — they depend on the dataset — and each run
+// resolves its own configuration (configFor) against the host profile
+// probed once at construction; the engine stays safe for concurrent use.
 //
 // Both entry points honour context cancellation: the batch loop, the
 // per-column pack stage and the BSP superstep barriers all observe ctx, so
 // a cancelled run returns ctx.Err() promptly with every worker and rank
 // goroutine joined.
 type Engine struct {
-	opts Options
-	grid grid.Grid // processor grid of the distributed path, chosen once
+	opts   Options
+	static runConfig         // resolved per-run decisions when Autotune is off
+	mach   costmodel.Machine // host profile driving run-time tuning (Autotune)
 
+	// arenas is the free list of batch-buffer arenas: each run checks one
+	// out (getArena) and returns it at the end, so concurrent runs never
+	// share per-worker tile slots while steady-state batch loops still
+	// reuse one run's buffers in the next.
+	mu     sync.Mutex
+	arenas []*bitmat.Arena
+}
+
+// runConfig is the resolved configuration of one run: the validated
+// options plus the decisions derived from them once per run (grid layout,
+// worker-pool sizes, streaming tile height) and, for autotuned runs, the
+// report recording how the configuration was chosen.
+type runConfig struct {
+	opts        Options
+	grid        grid.Grid
 	seqWorkers  int // resolved pool size of the sequential path
 	distWorkers int // resolved per-rank pool size of the distributed path
 	tileRows    int // resolved sequential streaming tile height
+	tuning      *TuningReport
 }
 
-// NewEngine validates opts and builds a reusable engine for it.
-func NewEngine(opts Options) (*Engine, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	e := &Engine{
+// resolveConfig derives the per-run decisions from a validated Options.
+func resolveConfig(opts Options) runConfig {
+	cfg := runConfig{
 		opts:       opts,
 		grid:       grid.Choose(opts.Procs, opts.Replication),
 		seqWorkers: par.Resolve(opts.Workers),
@@ -57,14 +76,29 @@ func NewEngine(opts Options) (*Engine, error) {
 	// resolves to a fair share of the CPUs per rank rather than a full
 	// GOMAXPROCS pool per rank (which would oversubscribe the machine
 	// Procs-fold). An explicit Workers value is taken as given.
-	e.distWorkers = opts.Workers
-	if e.distWorkers == 0 {
-		if e.distWorkers = runtime.GOMAXPROCS(0) / opts.Procs; e.distWorkers < 1 {
-			e.distWorkers = 1
+	cfg.distWorkers = opts.Workers
+	if cfg.distWorkers == 0 {
+		if cfg.distWorkers = runtime.GOMAXPROCS(0) / opts.Procs; cfg.distWorkers < 1 {
+			cfg.distWorkers = 1
 		}
 	}
-	if e.tileRows == 0 {
-		e.tileRows = DefaultTileRows
+	if cfg.tileRows == 0 {
+		cfg.tileRows = DefaultTileRows
+	}
+	return cfg
+}
+
+// NewEngine validates opts and builds a reusable engine for it. With
+// Options.Autotune the host profile (CPU count, streaming-bandwidth probe,
+// available memory — costmodel.Detect) is captured here, once, so repeated
+// runs pay only the cheap per-dataset statistics sampling.
+func NewEngine(opts Options) (*Engine, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{opts: opts, static: resolveConfig(opts)}
+	if opts.Autotune {
+		e.mach = costmodel.Detect()
 	}
 	return e, nil
 }
@@ -72,16 +106,39 @@ func NewEngine(opts Options) (*Engine, error) {
 // Options returns the configuration the engine was built with.
 func (e *Engine) Options() Options { return e.opts }
 
+// getArena checks a batch-buffer arena out of the engine's free list,
+// growing the list on first use or under run concurrency.
+func (e *Engine) getArena() *bitmat.Arena {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n := len(e.arenas); n > 0 {
+		a := e.arenas[n-1]
+		e.arenas = e.arenas[:n-1]
+		return a
+	}
+	return bitmat.NewArena()
+}
+
+func (e *Engine) putArena(a *bitmat.Arena) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.arenas = append(e.arenas, a)
+}
+
 // Similarity runs the pipeline with the legacy gathered-output semantics:
 // the full B, S and D matrices are assembled (at rank 0 for the
 // distributed path) unless Options.SkipGather is set. With Procs == 1 it
 // uses the sequential algebraic pipeline; otherwise the fully distributed
 // pipeline over the in-process BSP runtime.
 func (e *Engine) Similarity(ctx context.Context, ds Dataset) (*Result, error) {
-	if e.opts.Procs > 1 {
-		return e.computeDist(ctx, ds, nil)
+	cfg, err := e.configFor(ds)
+	if err != nil {
+		return nil, err
 	}
-	return e.computeSeq(ctx, ds, nil)
+	if cfg.opts.Procs > 1 {
+		return e.computeDist(ctx, ds, nil, cfg)
+	}
+	return e.computeSeq(ctx, ds, nil, cfg)
 }
 
 // Stream runs the pipeline and delivers the result to sink as a sequence
@@ -96,10 +153,14 @@ func (e *Engine) Stream(ctx context.Context, ds Dataset, sink TileSink) (*Result
 	if sink == nil {
 		return nil, fmt.Errorf("core: Stream requires a sink (use tile.Discard to drop the output)")
 	}
-	if e.opts.Procs > 1 {
-		return e.computeDist(ctx, ds, sink)
+	cfg, err := e.configFor(ds)
+	if err != nil {
+		return nil, err
 	}
-	return e.computeSeq(ctx, ds, sink)
+	if cfg.opts.Procs > 1 {
+		return e.computeDist(ctx, ds, sink, cfg)
+	}
+	return e.computeSeq(ctx, ds, sink, cfg)
 }
 
 // prefetchNextScan begins re-loading the samples the next batch's scan
@@ -173,7 +234,7 @@ func (sr *sinkRunner) flush() error {
 // is visible, so the filter needs no exchange. With sink == nil the
 // output is finalized into full matrices (legacy semantics); otherwise it
 // is derived band by band and streamed.
-func (e *Engine) computeSeq(ctx context.Context, ds Dataset, sink TileSink) (*Result, error) {
+func (e *Engine) computeSeq(ctx context.Context, ds Dataset, sink TileSink, cfg runConfig) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -181,23 +242,32 @@ func (e *Engine) computeSeq(ctx context.Context, ds Dataset, sink TileSink) (*Re
 		return nil, err
 	}
 	v2 := AsV2(ds)
-	opts := e.opts
+	opts := cfg.opts
 	start := time.Now()
 	n := ds.NumSamples()
 	m := ds.NumAttributes()
-	workers := e.seqWorkers
+	workers := cfg.seqWorkers
 
 	res := &Result{
 		N:             n,
 		Names:         sampleNames(ds),
 		Cardinalities: make([]int64, n),
 	}
+	res.Stats.Tuning = cfg.tuning
 	b := sparse.NewDense[int64](n, n)
 
 	allCols := make([]int, n)
 	for i := 0; i < n; i++ {
 		allCols[i] = i
 	}
+
+	// The batch loop's transient buffers — the packed matrix's streams and
+	// slabs, the Gram tile list and per-worker tile accumulators, the
+	// coordinate-entry scratch — cycle through one arena checked out for
+	// this run, so the steady state of a multi-batch run allocates ~nothing.
+	arena := e.getArena()
+	defer e.putArena(arena)
+	var entriesBuf []bitmat.PackedEntry
 
 	for l := 0; l < opts.BatchCount; l++ {
 		if err := ctx.Err(); err != nil {
@@ -223,15 +293,21 @@ func (e *Engine) computeSeq(ctx context.Context, ds Dataset, sink TileSink) (*Re
 		}
 		nonzero := dist.Compact(localRows)
 		active := len(nonzero)
-		entries, err := packBatch(ctx, columns, nonzero, lo, opts.MaskBits, workers)
+		entries, err := packBatch(ctx, columns, nonzero, lo, opts.MaskBits, workers, entriesBuf)
 		if err != nil {
 			return nil, err
 		}
+		entriesBuf = entries[:0]
 		if l+1 < opts.BatchCount {
 			prefetchNextScan(v2, n)
 		}
-		packed := bitmat.FromEntriesThreshold(entries, wordRowsFor(active, opts.MaskBits), n, opts.MaskBits, active, opts.DenseThreshold)
-		if err := packed.GramAccumulateCtx(ctx, b, workers); err != nil {
+		packed := bitmat.FromEntriesThresholdArena(entries, wordRowsFor(active, opts.MaskBits), n, opts.MaskBits, active, opts.DenseThreshold, arena)
+		if l == 0 && cfg.tuning != nil {
+			cfg.tuning.MeasuredOccupancy = packed.WordOccupancy()
+		}
+		err = packed.GramAccumulateCtxArena(ctx, b, workers, arena)
+		packed.Release()
+		if err != nil {
 			return nil, err
 		}
 
@@ -247,7 +323,7 @@ func (e *Engine) computeSeq(ctx context.Context, ds Dataset, sink TileSink) (*Re
 	}
 
 	if sink != nil {
-		if err := e.streamSeq(ctx, res, b, sink); err != nil {
+		if err := streamSeq(ctx, res, b, sink, cfg); err != nil {
 			return nil, err
 		}
 	} else if err := finalize(ctx, res, b, opts.SkipGather, workers); err != nil {
@@ -266,13 +342,13 @@ func (e *Engine) computeSeq(ctx context.Context, ds Dataset, sink TileSink) (*Re
 // B is exactly symmetric and the Eq. 2 scalar is symmetric in (i, j), so
 // deriving every (i, j) directly equals deriving the upper triangle and
 // mirroring.
-func (e *Engine) streamSeq(ctx context.Context, res *Result, b *sparse.Dense[int64], sink TileSink) error {
+func streamSeq(ctx context.Context, res *Result, b *sparse.Dense[int64], sink TileSink, cfg runConfig) error {
 	n := res.N
 	sr := &sinkRunner{sink: sink, stats: &res.Stats}
 	if err := sr.start(n, res.Names); err != nil {
 		return err
 	}
-	tr := e.tileRows
+	tr := cfg.tileRows
 	if tr > n {
 		tr = n
 	}
@@ -284,7 +360,7 @@ func (e *Engine) streamSeq(ctx context.Context, res *Result, b *sparse.Dense[int
 			hi = n
 		}
 		rows := hi - lo
-		err := par.ForEachCtx(ctx, e.seqWorkers, rows, func(i int) {
+		err := par.ForEachCtx(ctx, cfg.seqWorkers, rows, func(i int) {
 			gi := lo + i
 			brow := b.Row(gi)
 			srow := sbuf[i*n : (i+1)*n]
@@ -331,7 +407,7 @@ func (e *Engine) streamSeq(ctx context.Context, res *Result, b *sparse.Dense[int
 // collecting sink whose matrices become Result.B/S/D, with SkipGather the
 // emission is skipped entirely, and with a user sink the tiles go straight
 // to it.
-func (e *Engine) computeDist(ctx context.Context, ds Dataset, sink TileSink) (*Result, error) {
+func (e *Engine) computeDist(ctx context.Context, ds Dataset, sink TileSink, cfg runConfig) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -339,7 +415,7 @@ func (e *Engine) computeDist(ctx context.Context, ds Dataset, sink TileSink) (*R
 		return nil, err
 	}
 	v2 := AsV2(ds)
-	opts := e.opts
+	opts := cfg.opts
 	start := time.Now()
 	n := ds.NumSamples()
 	if n == 0 {
@@ -348,7 +424,8 @@ func (e *Engine) computeDist(ctx context.Context, ds Dataset, sink TileSink) (*R
 	m := ds.NumAttributes()
 
 	res := &Result{N: n, Names: sampleNames(ds)}
-	workers := e.distWorkers
+	res.Stats.Tuning = cfg.tuning
+	workers := cfg.distWorkers
 
 	var collect *tile.Collect
 	emitSink := sink
@@ -358,7 +435,7 @@ func (e *Engine) computeDist(ctx context.Context, ds Dataset, sink TileSink) (*R
 	}
 
 	commStats, err := bsp.RunCtx(ctx, opts.Procs, func(p *bsp.Proc) error {
-		dctx := dist.NewContextWithGrid(p, e.grid)
+		dctx := dist.NewContextWithGrid(p, cfg.grid)
 		engine := dist.NewGramEngine(dctx, n, workers, opts.DenseThreshold)
 
 		owned := dctx.OwnedSamples(n)
@@ -395,7 +472,7 @@ func (e *Engine) computeDist(ctx context.Context, ds Dataset, sink TileSink) (*R
 			nonzero := filter.Replicate()
 			active := len(nonzero)
 
-			entries, err := packBatch(ctx, columns, nonzero, lo, opts.MaskBits, workers)
+			entries, err := packBatch(ctx, columns, nonzero, lo, opts.MaskBits, workers, nil)
 			if err != nil {
 				return fmt.Errorf("batch %d: %w", l, err)
 			}

@@ -54,23 +54,37 @@ func TestEquivalenceGrid(t *testing.T) {
 				}
 				for _, workers := range workerDim {
 					for _, dt := range thresholdDim {
-						if workers == 1 && dt == -1 {
-							continue // the baseline itself
-						}
-						wOpts := seqOpts
-						wOpts.Workers = workers
-						wOpts.DenseThreshold = dt
-						seqW, err := ComputeSequential(ds, wOpts)
-						if err != nil {
-							t.Fatal(err)
-						}
-						if !sparse.Equal(seq.B, seqW.B, intEq) {
-							t.Fatalf("batches=%d b=%d w=%d dt=%d: sequential B not byte-identical to sparse serial",
-								batches, maskBits, workers, dt)
-						}
-						if !sparse.Equal(seq.S, seqW.S, intEqF) || !sparse.Equal(seq.D, seqW.D, intEqF) {
-							t.Fatalf("batches=%d b=%d w=%d dt=%d: sequential S/D not byte-identical to sparse serial",
-								batches, maskBits, workers, dt)
+						for _, autotune := range []bool{false, true} {
+							if workers == 1 && dt == -1 && !autotune {
+								continue // the baseline itself
+							}
+							wOpts := seqOpts
+							wOpts.Workers = workers
+							wOpts.DenseThreshold = dt
+							if autotune {
+								// The Autotune dimension: with the grid's own
+								// dimensions pinned explicitly, the tuner may
+								// only fill the remaining ones (Procs,
+								// TileRows) — the results must stay
+								// byte-identical either way.
+								wOpts.Autotune = true
+								wOpts.SetExplicit(FieldBatchCount | FieldMaskBits | FieldDenseThreshold | FieldWorkers)
+							}
+							seqW, err := ComputeSequential(ds, wOpts)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !sparse.Equal(seq.B, seqW.B, intEq) {
+								t.Fatalf("batches=%d b=%d w=%d dt=%d auto=%v: sequential B not byte-identical to sparse serial",
+									batches, maskBits, workers, dt, autotune)
+							}
+							if !sparse.Equal(seq.S, seqW.S, intEqF) || !sparse.Equal(seq.D, seqW.D, intEqF) {
+								t.Fatalf("batches=%d b=%d w=%d dt=%d auto=%v: sequential S/D not byte-identical to sparse serial",
+									batches, maskBits, workers, dt, autotune)
+							}
+							if autotune && seqW.Stats.Tuning == nil {
+								t.Fatalf("autotuned run recorded no tuning report")
+							}
 						}
 					}
 				}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"genomeatscale/internal/bsp"
+	"genomeatscale/internal/costmodel"
 	"genomeatscale/internal/sparse"
 )
 
@@ -70,7 +71,45 @@ type Options struct {
 	// resolves to DefaultTileRows. The distributed path ignores TileRows —
 	// its tiles are the processor grid's result blocks.
 	TileRows int
+
+	// Autotune derives the run configuration — Procs, Replication,
+	// BatchCount, TileRows, DenseThreshold — from the dataset's dimensions
+	// and a sampled density estimate at run time, by minimising the BSP cost
+	// model on a probed host profile (internal/costmodel.Tune). Fields the
+	// caller set explicitly (SetExplicit, which the With* options and CLI
+	// flags do automatically) are pinned; the tuner only fills the rest.
+	// Each run's choices and the predictions behind them are reported in
+	// RunStats.Tuning.
+	Autotune bool
+
+	// explicit records which fields were set deliberately rather than
+	// inherited from DefaultOptions, so the autotuner knows what it may
+	// change. A bit set here pins the corresponding field.
+	explicit OptField
 }
+
+// OptField identifies tunable Options dimensions for explicit-override
+// tracking; values combine as a bitset.
+type OptField uint16
+
+const (
+	FieldProcs OptField = 1 << iota
+	FieldReplication
+	FieldBatchCount
+	FieldTileRows
+	FieldDenseThreshold
+	FieldMaskBits
+	FieldWorkers
+)
+
+// SetExplicit marks fields as deliberately chosen by the caller: the
+// autotuner keeps their values and tunes around them. The With* options of
+// the public package and the CLI flag binding call this for every field
+// they set.
+func (o *Options) SetExplicit(fields OptField) { o.explicit |= fields }
+
+// IsExplicit reports whether every given field was marked explicit.
+func (o Options) IsExplicit(fields OptField) bool { return o.explicit&fields == fields }
 
 // DefaultTileRows is the sequential streaming tile height used when
 // Options.TileRows is 0.
@@ -143,6 +182,38 @@ type RunStats struct {
 	// run; nil when the dataset does not report them (e.g. fully in-memory
 	// datasets).
 	Ingest *IngestStats
+
+	// Tuning records the autotuner's decisions and predictions for this run;
+	// nil when Options.Autotune was off.
+	Tuning *TuningReport
+}
+
+// TuningReport is the chosen-versus-predicted record of one autotuned run:
+// which configuration the cost model picked, from which sampled dataset
+// statistics and host profile, which dimensions the caller had pinned, and
+// the measured packed-word occupancy the storage prediction can be checked
+// against.
+type TuningReport struct {
+	// Machine names the host profile the model evaluated
+	// (costmodel.Detect).
+	Machine string
+	// SampledColumns is how many sample columns the density estimate probed.
+	SampledColumns int
+	// Stats is the dataset description the tuner worked from; Stats.Density
+	// is the probed estimate.
+	Stats costmodel.DatasetStats
+	// Plan holds the chosen configuration and the model predictions behind
+	// it (per-batch seconds, row survival, packed word occupancy).
+	Plan costmodel.Plan
+	// Pinned lists the dimensions kept at caller-chosen values ("procs",
+	// "replication", "batches", "tilerows", "densethreshold").
+	Pinned []string
+	// MeasuredOccupancy is the nonzero-word fraction of the first batch's
+	// packed matrix (bitmat.Packed.WordOccupancy) — the measured counterpart
+	// of Plan.PredictedOccupancy. Recorded on the sequential path; zero when
+	// no batch was packed there (the distributed path packs inside its rank
+	// engines).
+	MeasuredOccupancy float64
 }
 
 // IngestStats reports how an out-of-core dataset behaved during a run: how

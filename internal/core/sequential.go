@@ -22,7 +22,11 @@ func ComputeSequential(ds Dataset, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.computeSeq(context.Background(), ds, nil)
+	cfg, err := e.configFor(ds)
+	if err != nil {
+		return nil, err
+	}
+	return e.computeSeq(context.Background(), ds, nil, cfg)
 }
 
 // finalize derives S and D from B and the per-sample cardinalities through

@@ -1,0 +1,260 @@
+package costmodel
+
+import (
+	"math"
+)
+
+// This file turns the BSP cost analysis from a reporting tool into a
+// decision procedure: given coarse dataset statistics and a host profile
+// (Detect), Tune picks the engine configuration — rank count, replication
+// factor, batch count, streaming tile height and dense-storage threshold —
+// by minimising the in-process form of the paper's batch cost T(z,n,M,c,p),
+// and records the predictions the choice was based on so a run can report
+// chosen-versus-measured figures.
+
+// DatasetStats is the coarse description of a dataset the tuner works
+// from: dimensions plus an estimated nonzero density. The engine samples
+// the density from a bounded prefix of the data (cheap for out-of-core
+// datasets); exact figures are unnecessary — every decision below is a
+// threshold or an argmin over a handful of candidates.
+type DatasetStats struct {
+	// Samples is n, the number of data samples (columns).
+	Samples int
+	// Attributes is m, the number of attribute rows.
+	Attributes int
+	// Density is the estimated fraction of nonzero cells of the n×m
+	// indicator matrix, in [0, 1].
+	Density float64
+}
+
+// Nonzeros returns the estimated total indicator nonzeros n·m·d.
+func (st DatasetStats) Nonzeros() float64 {
+	return float64(st.Samples) * float64(st.Attributes) * st.Density
+}
+
+// Fixed pins configuration dimensions the caller chose explicitly (flags,
+// options); the tuner only fills the remaining ones. Zero values mean "let
+// the tuner choose" for the positive-valued dimensions; DenseThreshold
+// needs the Has flag because 0 (auto) and negative (never) are meaningful
+// settings.
+type Fixed struct {
+	Procs       int
+	Replication int
+	Batches     int
+	TileRows    int
+	// MaskBits is the packing width used for the occupancy prediction; it
+	// is never tuned (0 defaults to 64).
+	MaskBits int
+
+	HasDenseThreshold bool
+	DenseThreshold    int
+}
+
+// Plan is a tuned configuration together with the model predictions it was
+// derived from. The prediction fields feed the engine's TuningReport so
+// mispredictions are visible next to the measured run.
+type Plan struct {
+	Procs          int
+	Replication    int
+	Batches        int
+	TileRows       int
+	DenseThreshold int
+
+	// PredictedSeconds is the modelled per-batch time of the chosen
+	// (Procs, Replication) point.
+	PredictedSeconds float64
+	// PredictedRowSurvival is the predicted fraction of batch rows that
+	// survive the empty-row filter (Eq. 5).
+	PredictedRowSurvival float64
+	// PredictedOccupancy is the predicted fraction of nonzero words of the
+	// packed word grid — the figure the dense-threshold choice rests on,
+	// comparable to the measured bitmat.Packed.WordOccupancy.
+	PredictedOccupancy float64
+}
+
+// EstimateOccupancy predicts, from the cell density d of an n-sample
+// indicator matrix packed b rows per word, (1) the fraction of rows that
+// survive the empty-row filter — a row dies only if all n samples miss it,
+// so survival = 1−(1−d)ⁿ — and (2) the fraction of nonzero words of the
+// packed word grid: surviving rows carry the conditional cell density
+// q = d/survival, and a word is nonzero unless all its b row positions
+// are, giving occupancy = 1−(1−q)ᵇ.
+func EstimateOccupancy(st DatasetStats, maskBits int) (rowSurvival, occupancy float64) {
+	d := math.Min(math.Max(st.Density, 0), 1)
+	if d == 0 || st.Samples <= 0 || maskBits <= 0 {
+		return 0, 0
+	}
+	rowSurvival = -math.Expm1(float64(st.Samples) * math.Log1p(-d))
+	if rowSurvival <= 0 {
+		return 0, 0
+	}
+	q := math.Min(d/rowSurvival, 1)
+	occupancy = -math.Expm1(float64(maskBits) * math.Log1p(-q))
+	return rowSurvival, occupancy
+}
+
+// InProcBatchTime is the in-process form of BatchTime: all p virtual ranks
+// share one host with `cpus` physical cores, so the useful compute
+// parallelism is capped by the cores (not by p), and every rank beyond the
+// first adds barrier wake-up cost to each superstep. Communication words
+// still pay β — the in-process exchange is a memcpy between rank buffers —
+// which is exactly why the model sends a single-host run to p = 1 unless
+// the caller pins Procs: splitting one host into ranks buys no compute but
+// charges the full exchange volume of the distributed algorithm.
+func InProcBatchTime(m Machine, pr Problem, p, c, cpus int) float64 {
+	if p <= 0 {
+		p = 1
+	}
+	if c < 1 {
+		c = 1
+	}
+	if c > p {
+		c = p
+	}
+	if cpus < 1 {
+		cpus = 1
+	}
+	pr = pr.withDefaults()
+	n := math.Max(float64(pr.Samples), 1)
+	z := pr.BatchNonzeros
+	pf, cf := float64(p), float64(c)
+
+	// Compute parallelism: capped by cores, by ranks×(their worker shares)
+	// — which is again the cores — and by the sample saturation of the
+	// distributed decomposition when p > 1.
+	peff := math.Min(float64(cpus), n)
+	if p > 1 {
+		peff = math.Min(peff, math.Min(pf, n))
+	}
+
+	sqrtCP := math.Sqrt(cf * math.Min(pf, n))
+	supersteps := 1 + z/(m.MemWords/pf*sqrtCP)
+	commWords := 0.0
+	if p > 1 {
+		commWords = z/sqrtCP + cf*n*n/math.Min(pf, n) + pf
+	}
+	flops := pr.Flops / peff
+	return supersteps*m.Alpha*(1+pf/8) + commWords*m.Beta + flops*m.Gamma
+}
+
+// tileRowsFor picks the streaming tile height: target a ~4 MiB resident
+// tile (B + S + D rows are 24 bytes per cell), clamped to [64, 4096] rows
+// so tiny n does not produce absurdly tall tiles and huge n keeps at least
+// a cache-line-friendly band.
+func tileRowsFor(n int) int {
+	if n <= 0 {
+		return 256
+	}
+	const targetBytes = 4 << 20
+	tr := targetBytes / (24 * n)
+	return min(max(tr, 64), 4096)
+}
+
+// denseThresholdFor maps the predicted word occupancy to a dense-threshold
+// spec: at ≥50% occupancy the dense slab is smaller than the sparse stream
+// for a typical column (see bitmat.Packed.MemoryWords: break-even at 50%),
+// so every non-empty column goes dense; below 2% the slabs would be
+// overwhelmingly zero words, so dense storage is disabled; in between the
+// per-column auto rule decides from actual stored-word counts.
+func denseThresholdFor(occupancy float64) int {
+	switch {
+	case occupancy >= 0.5:
+		return 1 // bitmat: every non-empty column dense
+	case occupancy < 0.02:
+		return -1 // bitmat.DenseNever
+	default:
+		return 0 // bitmat.DenseAuto
+	}
+}
+
+// Tune derives an engine configuration from dataset statistics and a host
+// profile, honouring the caller's pinned dimensions:
+//
+//   - Batches: smallest count whose per-batch nonzeros fit in a quarter of
+//     the host memory budget (the paper's z = Θ(M·p) batch sizing with the
+//     whole host as the memory), clamped to [1, Attributes].
+//   - Procs and Replication: argmin of InProcBatchTime over candidate rank
+//     counts (1, 4, 9, 16, …, cpus) and replication factors up to the
+//     paper's c = min(p, M·p/n²) cap. On one host the model picks p = 1 —
+//     the distributed decomposition only pays for itself across real
+//     machines — unless Procs is pinned, in which case the replication and
+//     batch sizing adapt around the pinned grid.
+//   - TileRows: a ~4 MiB streaming band (tileRowsFor).
+//   - DenseThreshold: from the predicted packed word occupancy
+//     (EstimateOccupancy, denseThresholdFor).
+//
+// The returned plan records the predictions behind those choices.
+func Tune(m Machine, st DatasetStats, cpus int, fixed Fixed) Plan {
+	if cpus < 1 {
+		cpus = 1
+	}
+	n := max(st.Samples, 1)
+	total := st.Nonzeros()
+
+	var plan Plan
+
+	// Batch sizing against the host memory budget.
+	plan.Batches = fixed.Batches
+	if plan.Batches <= 0 {
+		perBatch := m.MemWords / 4
+		plan.Batches = 1
+		if perBatch > 0 && total > perBatch {
+			plan.Batches = int(math.Ceil(total / perBatch))
+		}
+		if st.Attributes > 0 && plan.Batches > st.Attributes {
+			plan.Batches = st.Attributes
+		}
+	}
+
+	// The per-batch problem the candidates are scored on.
+	pr := Problem{
+		Samples:       st.Samples,
+		BatchNonzeros: total / float64(plan.Batches),
+		BatchRows:     float64(st.Attributes) / float64(plan.Batches),
+	}
+
+	// Rank count and replication by model argmin.
+	candidates := []int{1, 4, 9, 16, 25, 36, 64}
+	if fixed.Procs > 0 {
+		candidates = []int{fixed.Procs}
+	}
+	best := math.Inf(1)
+	for _, p := range candidates {
+		if p > max(cpus, 1) && p != candidates[0] {
+			continue
+		}
+		cmax := Replication(Machine{MemWords: m.MemWords / float64(p)}, n, p)
+		ccands := []int{1}
+		if fixed.Replication > 0 {
+			ccands = []int{fixed.Replication}
+		} else {
+			for c := 2; c <= cmax; c++ {
+				ccands = append(ccands, c)
+			}
+		}
+		for _, c := range ccands {
+			t := InProcBatchTime(m, pr, p, c, cpus)
+			if t < best {
+				best, plan.Procs, plan.Replication = t, p, c
+			}
+		}
+	}
+	plan.PredictedSeconds = best
+
+	plan.TileRows = fixed.TileRows
+	if plan.TileRows <= 0 {
+		plan.TileRows = tileRowsFor(st.Samples)
+	}
+
+	maskBits := fixed.MaskBits
+	if maskBits <= 0 {
+		maskBits = 64
+	}
+	plan.PredictedRowSurvival, plan.PredictedOccupancy = EstimateOccupancy(st, maskBits)
+	if fixed.HasDenseThreshold {
+		plan.DenseThreshold = fixed.DenseThreshold
+	} else {
+		plan.DenseThreshold = denseThresholdFor(plan.PredictedOccupancy)
+	}
+	return plan
+}

@@ -1,0 +1,158 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDetectProfileValid: the probed host profile must satisfy the model's
+// own invariants (α ≥ β ≥ γ > 0, positive memory and rank counts) so it is
+// usable wherever the hand-written profiles are.
+func TestDetectProfileValid(t *testing.T) {
+	m := Detect()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Detect() profile invalid: %v (%+v)", err, m)
+	}
+	if m.Gamma <= 0 || m.Gamma > 4e-8 {
+		t.Fatalf("probed γ out of plausible range: %g", m.Gamma)
+	}
+}
+
+// TestEstimateOccupancy pins the closed-form predictions on hand-checked
+// points and their limiting behaviour.
+func TestEstimateOccupancy(t *testing.T) {
+	// Zero density: nothing survives.
+	if s, o := EstimateOccupancy(DatasetStats{Samples: 10, Density: 0}, 64); s != 0 || o != 0 {
+		t.Fatalf("zero density: survival=%g occupancy=%g", s, o)
+	}
+	// Full density: every row survives, every word is set.
+	s, o := EstimateOccupancy(DatasetStats{Samples: 10, Density: 1}, 64)
+	if math.Abs(s-1) > 1e-12 || math.Abs(o-1) > 1e-12 {
+		t.Fatalf("full density: survival=%g occupancy=%g, want 1, 1", s, o)
+	}
+	// d = 0.5, n = 1: survival = 0.5, conditional density 1 → occupancy 1.
+	s, o = EstimateOccupancy(DatasetStats{Samples: 1, Density: 0.5}, 8)
+	if math.Abs(s-0.5) > 1e-12 || math.Abs(o-1) > 1e-12 {
+		t.Fatalf("n=1 d=0.5: survival=%g occupancy=%g, want 0.5, 1", s, o)
+	}
+	// Occupancy grows with the mask width at fixed density.
+	_, o8 := EstimateOccupancy(DatasetStats{Samples: 100, Density: 0.05}, 8)
+	_, o64 := EstimateOccupancy(DatasetStats{Samples: 100, Density: 0.05}, 64)
+	if !(o64 > o8 && o8 > 0 && o64 <= 1) {
+		t.Fatalf("occupancy not monotone in mask width: b=8 → %g, b=64 → %g", o8, o64)
+	}
+}
+
+// TestTuneSingleHostPicksOneRank: with nothing pinned, the in-process model
+// must settle on Procs = 1 — all virtual ranks share the host's cores, so
+// any p > 1 pays the full BSP exchange for zero extra compute.
+func TestTuneSingleHostPicksOneRank(t *testing.T) {
+	m := Stampede2KNL()
+	st := DatasetStats{Samples: 500, Attributes: 200000, Density: 0.02}
+	plan := Tune(m, st, 8, Fixed{})
+	if plan.Procs != 1 {
+		t.Fatalf("single-host tune chose Procs=%d, want 1", plan.Procs)
+	}
+	if plan.Replication != 1 {
+		t.Fatalf("Procs=1 must force Replication=1, got %d", plan.Replication)
+	}
+	if plan.Batches < 1 || plan.TileRows < 64 {
+		t.Fatalf("degenerate plan: %+v", plan)
+	}
+	if plan.PredictedSeconds <= 0 || math.IsInf(plan.PredictedSeconds, 0) {
+		t.Fatalf("no prediction recorded: %+v", plan)
+	}
+}
+
+// TestTunePinnedDimensionsHonoured: every pinned dimension must come back
+// verbatim, with the tuner filling only the rest.
+func TestTunePinnedDimensionsHonoured(t *testing.T) {
+	m := Stampede2KNL()
+	st := DatasetStats{Samples: 300, Attributes: 50000, Density: 0.01}
+	fixed := Fixed{Procs: 4, Replication: 2, Batches: 7, TileRows: 128,
+		HasDenseThreshold: true, DenseThreshold: -1}
+	plan := Tune(m, st, 8, fixed)
+	if plan.Procs != 4 || plan.Replication != 2 || plan.Batches != 7 ||
+		plan.TileRows != 128 || plan.DenseThreshold != -1 {
+		t.Fatalf("pinned dimensions not honoured: %+v", plan)
+	}
+}
+
+// TestTuneDenseThresholdFollowsOccupancy: the storage choice must track the
+// predicted word occupancy across its regimes.
+func TestTuneDenseThresholdFollowsOccupancy(t *testing.T) {
+	m := Stampede2KNL()
+	// Note the filter concentrates density: surviving rows have conditional
+	// cell density at least ~1/n, so word occupancy is bounded below by
+	// ~b/n — the sparse-only regime needs n well above the mask width.
+	cases := []struct {
+		samples int
+		density float64
+		want    int
+	}{
+		{1000, 0.9, 1},     // near-full words → everything dense
+		{100000, 1e-9, -1}, // n ≫ b, near-empty words → sparse only
+		{1000, 0.0008, 0},  // middling occupancy → per-column auto
+	}
+	for _, tc := range cases {
+		st := DatasetStats{Samples: tc.samples, Attributes: 100000, Density: tc.density}
+		_, occ := EstimateOccupancy(st, 64)
+		plan := Tune(m, st, 8, Fixed{})
+		if plan.DenseThreshold != tc.want {
+			t.Fatalf("density %g (occupancy %.4f): DenseThreshold=%d, want %d",
+				tc.density, occ, plan.DenseThreshold, tc.want)
+		}
+		if plan.PredictedOccupancy != occ {
+			t.Fatalf("plan did not record its occupancy prediction: %g vs %g", plan.PredictedOccupancy, occ)
+		}
+	}
+}
+
+// TestTuneBatchesScaleWithData: more nonzeros than a quarter of the memory
+// budget must split into proportionally more batches, capped by the number
+// of attribute rows.
+func TestTuneBatchesScaleWithData(t *testing.T) {
+	m := Stampede2KNL()
+	m.MemWords = 1e6 // shrink the budget so batching engages
+	small := Tune(m, DatasetStats{Samples: 100, Attributes: 1000, Density: 0.001}, 4, Fixed{})
+	big := Tune(m, DatasetStats{Samples: 100, Attributes: 1000000, Density: 0.01}, 4, Fixed{})
+	if small.Batches != 1 {
+		t.Fatalf("tiny dataset batched %d-fold", small.Batches)
+	}
+	if big.Batches <= small.Batches {
+		t.Fatalf("large dataset not split: %d batches", big.Batches)
+	}
+	if big.Batches > 1000000 {
+		t.Fatalf("batches exceed attribute rows: %d", big.Batches)
+	}
+}
+
+// TestInProcBatchTimePrefersOneRank: the in-process cost at p = 1 must not
+// exceed any multi-rank cost for a representative problem — the property
+// the default Procs choice rests on.
+func TestInProcBatchTimePrefersOneRank(t *testing.T) {
+	m := Stampede2KNL()
+	pr := Problem{Samples: 500, BatchNonzeros: 5e7, BatchRows: 1e5}
+	t1 := InProcBatchTime(m, pr, 1, 1, 8)
+	for _, p := range []int{4, 9, 16, 64} {
+		if tp := InProcBatchTime(m, pr, p, 1, 8); tp < t1 {
+			t.Fatalf("p=%d in-process time %g beats p=1 time %g", p, tp, t1)
+		}
+	}
+}
+
+// TestTileRowsFor pins the clamping of the streaming band height.
+func TestTileRowsFor(t *testing.T) {
+	if got := tileRowsFor(0); got != 256 {
+		t.Fatalf("tileRowsFor(0)=%d, want default 256", got)
+	}
+	if got := tileRowsFor(10); got != 4096 {
+		t.Fatalf("tileRowsFor(10)=%d, want cap 4096", got)
+	}
+	if got := tileRowsFor(1 << 20); got != 64 {
+		t.Fatalf("tileRowsFor(1M)=%d, want floor 64", got)
+	}
+	if got := tileRowsFor(1000); got != (4<<20)/24000 {
+		t.Fatalf("tileRowsFor(1000)=%d", got)
+	}
+}

@@ -1,0 +1,107 @@
+package costmodel
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"genomeatscale/internal/bitutil"
+)
+
+// detectProbeWords is the size of the bandwidth-probe buffer: 1 Mi 64-bit
+// words (8 MiB), large enough to overflow per-core L2 so the probe measures
+// streaming bandwidth rather than cache hits, small enough to allocate
+// without disturbing the host.
+const detectProbeWords = 1 << 20
+
+// Detect builds a Machine profile of the host this process runs on, for
+// feeding the autotuner (Tune) with in-process parameters instead of the
+// Stampede2 projection profiles:
+//
+//   - γ is measured: a ~1 ms STREAM-style probe runs the dispatched popcount
+//     kernel (the exact kernel the Gram product is bound by, so the probe
+//     reflects whatever assembly/portable implementation dispatch selected)
+//     over an 8 MiB buffer and charges the observed seconds per word.
+//   - β models the in-process BSP exchange — a memcpy between rank buffers,
+//     one read and one write per word — as 4γ.
+//   - α is the goroutine barrier cost of one in-process superstep, floored
+//     at 2 µs and clamped to keep the paper's α ≥ β ≥ γ assumption.
+//   - MemWords is half of /proc/meminfo MemAvailable (in words), leaving
+//     room for operands, accumulators and buffers; a 16 GiB fallback is
+//     used where meminfo is unavailable (non-Linux hosts).
+//   - RanksPerNode is the CPU count: every virtual rank shares this host.
+//
+// The probe costs about a millisecond; callers that tune repeatedly should
+// reuse the returned profile.
+func Detect() Machine {
+	gamma := probeGamma()
+	beta := 4 * gamma
+	alpha := 2e-6
+	if alpha < beta {
+		alpha = beta
+	}
+	return Machine{
+		Name:         fmt.Sprintf("detected(%s/%s, %d CPUs, %s kernel)", runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), bitutil.Kernel()),
+		Alpha:        alpha,
+		Beta:         beta,
+		Gamma:        gamma,
+		MemWords:     detectMemWords(),
+		RanksPerNode: max(runtime.NumCPU(), 1),
+	}
+}
+
+// probeGamma measures seconds per word of the dispatched popcount kernel
+// with a ~1 ms streaming sweep.
+func probeGamma() float64 {
+	buf := make([]uint64, detectProbeWords)
+	for i := range buf {
+		buf[i] = uint64(i)*0x9e3779b97f4a7c15 + 1
+	}
+	var words int64
+	sink := 0
+	start := time.Now()
+	for time.Since(start) < time.Millisecond {
+		sink += bitutil.PopcountSlice(buf)
+		words += detectProbeWords
+	}
+	elapsed := time.Since(start).Seconds()
+	runtime.KeepAlive(sink)
+	gamma := elapsed / float64(words)
+	// Clamp against clock glitches: plausible per-word times span ~0.2 GB/s
+	// to ~400 GB/s of 8-byte words.
+	if gamma < 2e-11 {
+		gamma = 2e-11
+	}
+	if gamma > 4e-8 {
+		gamma = 4e-8
+	}
+	return gamma
+}
+
+// detectMemWords reads MemAvailable from /proc/meminfo and returns half of
+// it in 64-bit words, falling back to 16 GiB worth of words.
+func detectMemWords() float64 {
+	const fallback = float64(16 << 30 / 8)
+	data, err := os.ReadFile("/proc/meminfo")
+	if err != nil {
+		return fallback
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "MemAvailable:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			break
+		}
+		kb, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || kb <= 0 {
+			break
+		}
+		return kb * 1024 / 8 / 2
+	}
+	return fallback
+}

@@ -41,7 +41,7 @@ func Resolve(workers int) int {
 // deferred recovers (e.g. the per-rank recover in internal/bsp that turns
 // kernel panics into Compute errors).
 func ForEach(workers, n int, fn func(i int)) {
-	forEach(nil, workers, n, fn)
+	forEach(nil, workers, n, func(_, i int) { fn(i) })
 }
 
 // ForEachCtx is ForEach with cooperative cancellation: every worker checks
@@ -52,6 +52,21 @@ func ForEach(workers, n int, fn func(i int)) {
 // workers <= 1 path checks between iterations, preserving the bit-for-bit
 // index order of the uncancelled loop.
 func ForEachCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	forEach(ctx, workers, n, func(_, i int) { fn(i) })
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// ForEachWorkerCtx is ForEachCtx with the claiming worker's pool index
+// passed to fn (0 ≤ worker < min(workers, n), and 0 on the serial path).
+// Each worker index is held by exactly one goroutine for the duration of
+// the loop, so fn may reuse per-worker scratch buffers — arena slabs, tile
+// accumulators — across the items that worker claims without any
+// synchronisation. Scheduling (dynamic index handout, cancellation, panic
+// propagation) is identical to ForEachCtx.
+func ForEachWorkerCtx(ctx context.Context, workers, n int, fn func(worker, i int)) error {
 	forEach(ctx, workers, n, fn)
 	if ctx == nil {
 		return nil
@@ -59,7 +74,7 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int)) error {
 	return ctx.Err()
 }
 
-func forEach(ctx context.Context, workers, n int, fn func(i int)) {
+func forEach(ctx context.Context, workers, n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -72,7 +87,7 @@ func forEach(ctx context.Context, workers, n int, fn func(i int)) {
 			if ctx != nil && ctx.Err() != nil {
 				return
 			}
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -82,7 +97,7 @@ func forEach(ctx context.Context, workers, n int, fn func(i int)) {
 	var panicVal any
 	var wg sync.WaitGroup
 	wg.Add(workers - 1)
-	body := func() {
+	body := func(worker int) {
 		defer func() {
 			if r := recover(); r != nil {
 				panicOnce.Do(func() { panicVal = r })
@@ -98,16 +113,16 @@ func forEach(ctx context.Context, workers, n int, fn func(i int)) {
 			if i >= n {
 				return
 			}
-			fn(i)
+			fn(worker, i)
 		}
 	}
 	for w := 1; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			body()
+			body(w)
 		}()
 	}
-	body() // the calling goroutine is the pool's first worker
+	body(0) // the calling goroutine is the pool's first worker
 	wg.Wait()
 	if panicVal != nil {
 		panic(panicVal)
