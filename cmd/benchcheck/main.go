@@ -5,7 +5,8 @@
 //
 // Only dimensionless ratios are compared — dense-vs-sparse kernel speedups,
 // the asm-vs-portable dispatch speedup, the arena allocation reduction, the
-// autotuned-vs-best-manual ratio, the streaming peak-memory ratio — never
+// autotuned-vs-best-manual ratio, the streaming peak-memory ratio, the
+// prescreening tier's recall, screened fraction and speedup — never
 // raw nanoseconds, so the check is meaningful across machines of different
 // speeds. A new metric present only in the current artifact passes (the
 // baseline just hasn't recorded it yet); a metric the baseline tracks but
@@ -47,6 +48,11 @@ type artifact struct {
 	Streaming *struct {
 		PeakMemoryRatio float64 `json:"peak_memory_ratio"`
 	} `json:"streaming"`
+	Prescreen *struct {
+		Recall           float64 `json:"recall"`
+		ScreenedFraction float64 `json:"screened_fraction"`
+		Speedup          float64 `json:"speedup"`
+	} `json:"prescreen"`
 }
 
 // metric is one tracked dimensionless ratio. LowerBetter flips the
@@ -81,6 +87,14 @@ func metrics(a artifact) map[string]metric {
 	}
 	if a.Streaming != nil && a.Streaming.PeakMemoryRatio > 0 {
 		out["streaming-peak-memory-ratio"] = metric{Value: a.Streaming.PeakMemoryRatio}
+	}
+	if a.Prescreen != nil && a.Prescreen.Speedup > 0 {
+		// Recall and screened fraction are ratios of pair counts, not of
+		// timings, so they are stable across machines; the speedup is the
+		// serial exact-vs-prescreened wall-clock ratio.
+		out["prescreen-recall"] = metric{Value: a.Prescreen.Recall}
+		out["prescreen-screened-fraction"] = metric{Value: a.Prescreen.ScreenedFraction}
+		out["prescreen-speedup"] = metric{Value: a.Prescreen.Speedup}
 	}
 	return out
 }

@@ -134,6 +134,34 @@ type autotuneResult struct {
 	Plan string `json:"plan"`
 }
 
+// prescreenResult compares the thresholded near-duplicate query with and
+// without the MinHash prescreening tier on a clustered corpus (a few
+// clusters of near-duplicates above the threshold, everything else far
+// below it) — the recall-vs-speedup acceptance question of the two-tier
+// design: how much exact work does the sketch gate skip, and does it lose
+// any of the pairs a post-hoc filter of the exact answer finds?
+type prescreenResult struct {
+	// Samples is the corpus size n; Threshold is the query's τ.
+	Samples   int     `json:"samples"`
+	Threshold float64 `json:"threshold"`
+	// SketchSize is the auto-derived bottom-k sketch size of the run.
+	SketchSize int `json:"sketch_size"`
+	// PairsScreened / PairsSurvived are the gate's counters; the screened
+	// fraction is 1 − survived/screened (higher = more exact work skipped).
+	PairsScreened    int64   `json:"pairs_screened"`
+	PairsSurvived    int64   `json:"pairs_survived"`
+	ScreenedFraction float64 `json:"screened_fraction"`
+	// Recall is |prescreened ∩ exact| / |exact| over the pairs at or above
+	// the threshold — 1.0 means the gate lost nothing.
+	Recall float64 `json:"recall"`
+	// ExactSeconds and PrescreenSeconds are best-of-runs wall times of the
+	// serial thresholded query; Speedup is their ratio (>1 means the
+	// sketch tier paid for itself).
+	ExactSeconds     float64 `json:"exact_seconds"`
+	PrescreenSeconds float64 `json:"prescreen_seconds"`
+	Speedup          float64 `json:"speedup"`
+}
+
 // artifact is the BENCH_kernels.json schema.
 type artifact struct {
 	Rows      int              `json:"rows"`
@@ -144,6 +172,7 @@ type artifact struct {
 	Arena     *arenaResult     `json:"arena,omitempty"`
 	Autotune  *autotuneResult  `json:"autotune,omitempty"`
 	Streaming *streamingResult `json:"streaming,omitempty"`
+	Prescreen *prescreenResult `json:"prescreen,omitempty"`
 }
 
 func main() {
@@ -228,6 +257,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	art.Streaming = stream
+
+	pre, err := measurePrescreen(out, *quick)
+	if err != nil {
+		return err
+	}
+	art.Prescreen = pre
 
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
@@ -482,6 +517,132 @@ func measureStreamingVsGather(out io.Writer, quick bool) (*streamingResult, erro
 	}
 	fmt.Fprintf(out, "streaming-vs-gather (n=%d, top-%d): gather %d words, stream peak tile %d words, ratio %.1fx\n",
 		n, topK, res.GatherOutputWords, res.StreamPeakTileWords, res.PeakMemoryRatio)
+	return res, nil
+}
+
+// measurePrescreen runs the serial thresholded near-duplicate query (a
+// Threshold sink at τ = 0.8) on a near-duplicate corpus twice — exact and
+// with the MinHash prescreening tier in front — and records the recall of
+// the prescreened answer against the exact one, the fraction of pairs the
+// gate screened out, and the wall-clock speedup. The corpus is the shape
+// thresholded queries are run on: a few small duplicate clusters buried
+// in a majority of isolated samples with no near-duplicate at all, so the
+// prescreening tier can skip both the pairwise Gram tiles and the packing
+// of the isolated columns. Both runs are serial (workers = 1) so the
+// ratio reflects the kernel work skipped, not how loaded the runner
+// happens to be; best-of-runs keeps scheduler noise out.
+func measurePrescreen(out io.Writer, quick bool) (*prescreenResult, error) {
+	clusters, perCluster, isolated, baseSize := 20, 4, 176, 3000
+	runs := 3
+	if quick {
+		clusters, perCluster, isolated, baseSize = 10, 4, 104, 2000
+	}
+	const tau = 0.8
+	const universe = uint64(1) << 40
+	rng := synth.NewRNG(29)
+	extra := baseSize / 11 // within-cluster Jaccard ≈ 0.85
+	n := clusters*perCluster + isolated
+	names := make([]string, 0, n)
+	samples := make([][]uint64, 0, n)
+	for c := 0; c < clusters; c++ {
+		base := make([]uint64, baseSize)
+		for i := range base {
+			base[i] = rng.Uint64n(universe)
+		}
+		for s := 0; s < perCluster; s++ {
+			sample := append([]uint64(nil), base...)
+			for k := 0; k < extra; k++ {
+				sample = append(sample, rng.Uint64n(universe))
+			}
+			names = append(names, fmt.Sprintf("c%02d-s%d", c, s))
+			samples = append(samples, sample)
+		}
+	}
+	for s := 0; s < isolated; s++ {
+		sample := make([]uint64, baseSize+extra)
+		for i := range sample {
+			sample[i] = rng.Uint64n(universe)
+		}
+		names = append(names, fmt.Sprintf("bg-%03d", s))
+		samples = append(samples, sample)
+	}
+	ds, err := genomeatscale.NewDataset(names, samples, universe)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+
+	bestOf := func(e *genomeatscale.Engine) (float64, []genomeatscale.Pair, *genomeatscale.Result, error) {
+		best := 0.0
+		var pairs []genomeatscale.Pair
+		var res *genomeatscale.Result
+		for i := 0; i < runs; i++ {
+			sink := genomeatscale.Threshold(tau)
+			r, err := e.Stream(ctx, ds, sink)
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			if res == nil || r.Stats.TotalSeconds < best {
+				best, pairs, res = r.Stats.TotalSeconds, sink.Pairs(), r
+			}
+		}
+		return best, pairs, res, nil
+	}
+
+	exactEngine, err := genomeatscale.NewEngine(genomeatscale.WithWorkers(1))
+	if err != nil {
+		return nil, err
+	}
+	exactSecs, exactPairs, _, err := bestOf(exactEngine)
+	if err != nil {
+		return nil, err
+	}
+	preEngine, err := genomeatscale.NewEngine(
+		genomeatscale.WithWorkers(1),
+		genomeatscale.WithSketchPrescreen(0, tau, 0),
+	)
+	if err != nil {
+		return nil, err
+	}
+	preSecs, prePairs, preRes, err := bestOf(preEngine)
+	if err != nil {
+		return nil, err
+	}
+	if len(exactPairs) == 0 {
+		return nil, fmt.Errorf("prescreen comparison: no pairs above τ=%g in the exact run", tau)
+	}
+
+	exactSet := make(map[[2]int]float64, len(exactPairs))
+	for _, p := range exactPairs {
+		exactSet[[2]int{p.I, p.J}] = p.Similarity
+	}
+	hits := 0
+	for _, p := range prePairs {
+		if s, ok := exactSet[[2]int{p.I, p.J}]; ok {
+			if s != p.Similarity {
+				return nil, fmt.Errorf("prescreen comparison: pair (%d,%d) S=%v differs from exact %v — survivors must be byte-identical",
+					p.I, p.J, p.Similarity, s)
+			}
+			hits++
+		}
+	}
+	st := preRes.Stats.Sketch
+	res := &prescreenResult{
+		Samples:          n,
+		Threshold:        tau,
+		SketchSize:       st.Size,
+		PairsScreened:    st.PairsScreened,
+		PairsSurvived:    st.PairsSurvived,
+		ScreenedFraction: 1 - float64(st.PairsSurvived)/float64(st.PairsScreened),
+		Recall:           float64(hits) / float64(len(exactPairs)),
+		ExactSeconds:     exactSecs,
+		PrescreenSeconds: preSecs,
+	}
+	if preSecs > 0 {
+		res.Speedup = exactSecs / preSecs
+	}
+	fmt.Fprintf(out, "prescreen (n=%d, τ=%g, k=%d): recall %.4f, %.1f%% of pairs screened out, exact %.4fs vs prescreened %.4fs (%.2fx)\n",
+		n, tau, res.SketchSize, res.Recall, 100*res.ScreenedFraction, exactSecs, preSecs, res.Speedup)
 	return res, nil
 }
 

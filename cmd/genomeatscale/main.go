@@ -94,6 +94,7 @@ func run(args []string, out *os.File) error {
 		fmt.Fprintf(out, "\nstreamed %d×%d Jaccard similarity run in %.3fs (%d tiles, peak tile %d words)\n",
 			res.N, res.N, res.Stats.TotalSeconds, res.Stats.TilesEmitted, res.Stats.PeakTileWords)
 		cliutil.PrintTuning(out, res.Stats.Tuning)
+		cliutil.PrintSketch(out, res.Stats.Sketch)
 		fmt.Fprintf(out, "\n%d retained sample pairs:\n", len(pairs))
 		return output.WritePairs(out, pairs)
 	}
@@ -110,6 +111,7 @@ func run(args []string, out *os.File) error {
 	fmt.Fprintf(out, "\ncomputed %d×%d Jaccard similarity matrix in %.3fs (%d batches)\n",
 		res.N, res.N, res.Stats.TotalSeconds, res.Stats.Batches)
 	cliutil.PrintTuning(out, res.Stats.Tuning)
+	cliutil.PrintSketch(out, res.Stats.Sketch)
 	if res.Stats.Comm != nil {
 		fmt.Fprintf(out, "communication: %d supersteps, %.2f MiB total\n",
 			res.Stats.Comm.Supersteps, float64(res.Stats.Comm.TotalBytes)/(1<<20))

@@ -121,6 +121,7 @@ func run(args []string, out *os.File) error {
 		fmt.Fprintf(out, "streamed %d×%d Jaccard similarity run over m=%d attributes in %.3fs (%d tiles)\n",
 			res.N, res.N, m, res.Stats.TotalSeconds, res.Stats.TilesEmitted)
 		cliutil.PrintTuning(out, res.Stats.Tuning)
+		cliutil.PrintSketch(out, res.Stats.Sketch)
 		cliutil.PrintIngest(out, res.Stats.Ingest)
 		fmt.Fprintf(out, "\n%d retained sample pairs:\n", len(pairs))
 		return output.WritePairs(out, pairs)
@@ -144,6 +145,7 @@ func run(args []string, out *os.File) error {
 	fmt.Fprintf(out, "computed %d×%d Jaccard %s matrix over m=%d attributes in %.3fs\n",
 		res.N, res.N, label, m, res.Stats.TotalSeconds)
 	cliutil.PrintTuning(out, res.Stats.Tuning)
+	cliutil.PrintSketch(out, res.Stats.Sketch)
 	cliutil.PrintIngest(out, res.Stats.Ingest)
 
 	if *outPath != "" {

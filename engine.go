@@ -59,6 +59,29 @@ func WithTileRows(r int) Option {
 	return func(o *Options) { o.TileRows = r; o.SetExplicit(core.FieldTileRows) }
 }
 
+// WithSketchPrescreen enables the MinHash prescreening tier: bottom-k
+// sketches of size `size` estimate every pairwise Jaccard first, and only
+// pairs whose estimate reaches threshold − slack run through the exact
+// tiled kernel; the rest are pruned (reported as B = 0, S = 0, D = 1)
+// without ever touching the popcount path. Surviving pairs are
+// byte-identical to a non-prescreened run, so composing with a
+// ThresholdSink at the same threshold trades a little recall — reported
+// as RunStats.Sketch.EstimatedRecall — for skipping the exact work of
+// everything below the gate.
+//
+// size 0 derives the sketch size from threshold and slack (and is tunable
+// under WithAutotune; an explicit size is pinned); slack 0 uses the
+// default margin. Prescreening runs on the sequential path only: combine
+// it with WithProcs(1) (the default), not a rank grid.
+func WithSketchPrescreen(size int, threshold, slack float64) Option {
+	return func(o *Options) {
+		o.Sketch = core.SketchOptions{Size: size, Threshold: threshold, Slack: slack}
+		if size > 0 {
+			o.SetExplicit(core.FieldSketchSize)
+		}
+	}
+}
+
 // WithAutotune derives the run configuration from the dataset instead of
 // the defaults: each Similarity or Stream call samples the dataset's
 // dimensions and density, feeds them with the host profile (cores, memory

@@ -121,6 +121,32 @@ func ExampleWithAutotune() {
 	// tuned: procs=1 batches=2, pinned: [batches]
 }
 
+// ExampleWithSketchPrescreen puts the MinHash prescreening tier in front
+// of the exact kernel: pairs whose sketch estimate falls below
+// threshold − slack are pruned (reported as S = 0) without running the
+// exact popcount path, while surviving pairs keep their byte-exact
+// values. The run statistics record what the gate did.
+func ExampleWithSketchPrescreen() {
+	engine, err := genomeatscale.NewEngine(
+		genomeatscale.WithSketchPrescreen(64, 0.5, 0.1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.Similarity(context.Background(), exampleDataset())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("J(alpha, beta) = %.3f\n", res.Similarity(0, 1))
+	fmt.Printf("J(alpha, gamma) = %.3f (pruned: its exact value 0.286 is below 0.5 - 0.1)\n", res.Similarity(0, 2))
+	st := res.Stats.Sketch
+	fmt.Printf("k=%d: %d of %d pairs reached the exact kernel\n", st.Size, st.PairsSurvived, st.PairsScreened)
+	// Output:
+	// J(alpha, beta) = 0.667
+	// J(alpha, gamma) = 0.000 (pruned: its exact value 0.286 is below 0.5 - 0.1)
+	// k=64: 5 of 10 pairs reached the exact kernel
+}
+
 // ExampleThreshold retains the near-duplicate pairs above a similarity
 // cutoff while the run streams.
 func ExampleThreshold() {

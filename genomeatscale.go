@@ -46,6 +46,12 @@ type Result = core.Result
 // pinned. Found on Result.Stats.Tuning.
 type TuningReport = core.TuningReport
 
+// SketchStats records what the MinHash prescreening tier
+// (WithSketchPrescreen) did: the resolved gate parameters, how many pairs
+// were screened and how many survived to the exact tier, and the modelled
+// worst-case recall at the threshold. Found on Result.Stats.Sketch.
+type SketchStats = core.SketchStats
+
 // NewDataset builds a dataset from raw attribute lists; values are sorted
 // and de-duplicated, names may be nil.
 func NewDataset(names []string, samples [][]uint64, numAttributes uint64) (*InMemoryDataset, error) {

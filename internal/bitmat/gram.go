@@ -112,7 +112,7 @@ func (p *Packed) GramAccumulate(into *sparse.Dense[int64]) {
 // Every cell dispatches through pairPopcount, so the kernel choice follows
 // the two columns' storage layouts.
 func (p *Packed) GramAccumulateWorkers(into *sparse.Dense[int64], workers int) {
-	p.gramAccumulate(nil, into, workers, nil)
+	p.gramAccumulate(nil, into, workers, nil, nil)
 }
 
 // GramAccumulateCtx is GramAccumulateWorkers with cooperative cancellation:
@@ -124,7 +124,7 @@ func (p *Packed) GramAccumulateWorkers(into *sparse.Dense[int64], workers int) {
 // does not change the result. A nil or never-cancellable context is exactly
 // GramAccumulateWorkers.
 func (p *Packed) GramAccumulateCtx(ctx context.Context, into *sparse.Dense[int64], workers int) error {
-	return p.gramAccumulate(ctx, into, workers, nil)
+	return p.gramAccumulate(ctx, into, workers, nil, nil)
 }
 
 // GramAccumulateCtxArena is GramAccumulateCtx drawing its transient buffers
@@ -134,17 +134,28 @@ func (p *Packed) GramAccumulateCtx(ctx context.Context, into *sparse.Dense[int64
 // exactly GramAccumulateCtx. The arena must not be shared with a concurrent
 // Gram call (see Arena).
 func (p *Packed) GramAccumulateCtxArena(ctx context.Context, into *sparse.Dense[int64], workers int, arena *Arena) error {
-	return p.gramAccumulate(ctx, into, workers, arena)
+	return p.gramAccumulate(ctx, into, workers, arena, nil)
 }
 
-func (p *Packed) gramAccumulate(ctx context.Context, into *sparse.Dense[int64], workers int, arena *Arena) error {
+// GramAccumulateMaskedCtxArena is GramAccumulateCtxArena restricted to the
+// column pairs set in mask — the exact tier of the MinHash prescreening
+// pipeline. Output tiles containing no surviving pair are skipped whole
+// (they are never scheduled), and within surviving tiles only surviving
+// cells dispatch a popcount, so pruned pairs' accumulator cells are never
+// touched and stay exactly 0. A nil mask computes every pair; the result
+// for surviving pairs is bit-identical to the unmasked kernel.
+func (p *Packed) GramAccumulateMaskedCtxArena(ctx context.Context, into *sparse.Dense[int64], workers int, arena *Arena, mask *PairMask) error {
+	return p.gramAccumulate(ctx, into, workers, arena, mask)
+}
+
+func (p *Packed) gramAccumulate(ctx context.Context, into *sparse.Dense[int64], workers int, arena *Arena, mask *PairMask) error {
 	if into.Rows != p.Cols || into.Cols != p.Cols {
 		panic(fmt.Sprintf("bitmat: Gram accumulator shape %dx%d, want %dx%d", into.Rows, into.Cols, p.Cols, p.Cols))
 	}
 	workers = par.Resolve(workers)
 	cancellable := ctx != nil && ctx.Done() != nil
 	if (workers <= 1 && !cancellable) || p.Cols < 2 {
-		p.gramAccumulateSerial(into)
+		p.gramAccumulateSerial(into, mask)
 		return nil
 	}
 	edge := tileEdge(workers, func(e int) int {
@@ -155,7 +166,13 @@ func (p *Packed) gramAccumulate(ctx context.Context, into *sparse.Dense[int64], 
 	for i0 := 0; i0 < p.Cols; i0 += edge {
 		i1 := min(i0+edge, p.Cols)
 		for j0 := i0; j0 < p.Cols; j0 += edge {
-			tiles = append(tiles, tileSpec{i0, i1, j0, min(j0+edge, p.Cols)})
+			t := tileSpec{i0, i1, j0, min(j0+edge, p.Cols)}
+			// Tile-level prescreen skip: a tile none of whose pairs
+			// survived the sketch gate is never scheduled.
+			if mask != nil && !mask.anyInTile(t.i0, t.i1, t.j0, t.j1) {
+				continue
+			}
+			tiles = append(tiles, t)
 		}
 	}
 	arena.ensureWorkers(min(workers, len(tiles)))
@@ -171,6 +188,9 @@ func (p *Packed) gramAccumulate(ctx context.Context, into *sparse.Dense[int64], 
 			}
 			row := slab[(i-t.i0)*tw:]
 			for j := max(t.j0, i); j < t.j1; j++ {
+				if mask != nil && !mask.Pair(i, j) {
+					continue
+				}
 				vj := p.view(j)
 				if vj.empty() {
 					continue
@@ -199,14 +219,20 @@ func (p *Packed) gramAccumulate(ctx context.Context, into *sparse.Dense[int64], 
 // gramAccumulateSerial is the historical single-threaded kernel, with the
 // per-cell closure accumulation replaced by direct slice indexing and the
 // popcount dispatched by column layout.
-func (p *Packed) gramAccumulateSerial(into *sparse.Dense[int64]) {
+func (p *Packed) gramAccumulateSerial(into *sparse.Dense[int64], mask *PairMask) {
 	stride := into.Cols
 	for i := 0; i < p.Cols; i++ {
 		vi := p.view(i)
 		if vi.empty() {
 			continue
 		}
+		if mask != nil && !mask.AnyInRange(i, i, p.Cols) {
+			continue
+		}
 		for j := i; j < p.Cols; j++ {
+			if mask != nil && !mask.Pair(i, j) {
+				continue
+			}
 			vj := p.view(j)
 			if vj.empty() {
 				continue

@@ -39,6 +39,8 @@ type ComputeFlags struct {
 	TileRows       *int
 	TopK           *int
 	Threshold      *float64
+	SketchK        *int
+	SketchSlack    *float64
 	Auto           *bool
 
 	fs *flag.FlagSet
@@ -56,6 +58,8 @@ func BindCompute(fs *flag.FlagSet) *ComputeFlags {
 		TileRows:       fs.Int("tile-rows", 0, "row-band height of streamed output tiles on the sequential path (0 = default)"),
 		TopK:           fs.Int("top-k", 0, "stream only the k most similar sample pairs instead of gathering the full matrix (0 = off)"),
 		Threshold:      fs.Float64("threshold", -1, "stream only the sample pairs with similarity at or above this value instead of gathering the full matrix (negative = off)"),
+		SketchK:        fs.Int("sketch-k", 0, "MinHash-prescreen -threshold runs with bottom-k sketches of this size: pairs estimated below threshold-slack skip the exact kernel (0 = off, negative = auto-sized from threshold and slack)"),
+		SketchSlack:    fs.Float64("sketch-slack", core.DefaultSketchSlack, "recall margin subtracted from -threshold before the sketch prescreen gate"),
 		Auto:           fs.Bool("auto", false, "autotune the run configuration from the dataset and host via the BSP cost model; engine flags given explicitly are pinned"),
 		fs:             fs,
 	}
@@ -87,6 +91,17 @@ func (f *ComputeFlags) Options() core.Options {
 		TileRows:       *f.TileRows,
 		Autotune:       *f.Auto,
 	}
+	if *f.SketchK != 0 {
+		// -sketch-k prescreens against the run's -threshold; without one
+		// the negative default lands in Sketch.Threshold and surfaces as a
+		// core.Validate error. A negative -sketch-k enables prescreening
+		// with the auto-derived sketch size.
+		o.Sketch = core.SketchOptions{Threshold: *f.Threshold, Slack: *f.SketchSlack}
+		if *f.SketchK > 0 {
+			o.Sketch.Size = *f.SketchK
+			o.SetExplicit(core.FieldSketchSize)
+		}
+	}
 	f.fs.Visit(func(fl *flag.Flag) {
 		if field, ok := explicitField[fl.Name]; ok {
 			o.SetExplicit(field)
@@ -113,6 +128,20 @@ func PrintTuning(w io.Writer, t *core.TuningReport) {
 		fmt.Fprintf(w, "; pinned: %s", strings.Join(t.Pinned, ", "))
 	}
 	fmt.Fprintln(w)
+}
+
+// PrintSketch reports what the MinHash prescreening tier did; it prints
+// nothing when the run carried no sketch stats (prescreening off).
+func PrintSketch(w io.Writer, s *core.SketchStats) {
+	if s == nil {
+		return
+	}
+	pruned := float64(0)
+	if s.PairsScreened > 0 {
+		pruned = 100 * float64(s.PairsScreened-s.PairsSurvived) / float64(s.PairsScreened)
+	}
+	fmt.Fprintf(w, "prescreen: k=%d at threshold %.3g (slack %.3g); %d of %d pairs survived (%.1f%% pruned), estimated recall %.4f (%.3fs sketching)\n",
+		s.Size, s.Threshold, s.Slack, s.PairsSurvived, s.PairsScreened, pruned, s.EstimatedRecall, s.SketchSeconds)
 }
 
 // Engine builds a reusable engine from the bound flag values.

@@ -76,6 +76,23 @@ func fixedFrom(o Options) (costmodel.Fixed, []string) {
 		f.DenseThreshold = o.DenseThreshold
 		pinned = append(pinned, "densethreshold")
 	}
+	if o.Sketch.Enabled() {
+		f.Sketch = true
+		f.SketchThreshold = o.Sketch.Threshold
+		f.SketchSlack = o.Sketch.Slack
+		if f.SketchSlack == 0 {
+			f.SketchSlack = DefaultSketchSlack
+		}
+		if o.IsExplicit(FieldSketchSize) && o.Sketch.Size > 0 {
+			f.SketchSize = o.Sketch.Size
+			pinned = append(pinned, "sketchsize")
+		}
+		// Prescreening is sequential-only (Validate enforces Procs == 1 on
+		// static runs); keep the tuner from planning a rank grid.
+		if f.Procs == 0 {
+			f.Procs = 1
+		}
+	}
 	f.MaskBits = o.MaskBits
 	return f, pinned
 }
@@ -93,13 +110,18 @@ func (e *Engine) configFor(ds Dataset) (runConfig, error) {
 		return runConfig{}, err
 	}
 	fixed, pinned := fixedFrom(e.opts)
-	plan := costmodel.Tune(e.mach, st, runtime.NumCPU(), fixed)
+	// GOMAXPROCS, not NumCPU: in cgroup-limited containers NumCPU reports
+	// the physical host and the tuner would over-provision parallelism.
+	plan := costmodel.Tune(e.mach, st, runtime.GOMAXPROCS(0), fixed)
 	opts := e.opts
 	opts.Procs = plan.Procs
 	opts.Replication = plan.Replication
 	opts.BatchCount = plan.Batches
 	opts.TileRows = plan.TileRows
 	opts.DenseThreshold = plan.DenseThreshold
+	if plan.SketchSize > 0 {
+		opts.Sketch.Size = plan.SketchSize
+	}
 	if err := opts.Validate(); err != nil {
 		return runConfig{}, fmt.Errorf("core: autotuned configuration invalid: %w", err)
 	}

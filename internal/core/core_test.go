@@ -104,7 +104,7 @@ func TestJaccardPairKnown(t *testing.T) {
 		x, y []uint64
 		want float64
 	}{
-		{nil, nil, 1},
+		{nil, nil, 0}, // J(∅, ∅) = 0: empty samples match nothing
 		{[]uint64{1, 2, 3}, nil, 0},
 		{[]uint64{1, 2, 3}, []uint64{1, 2, 3}, 1},
 		{[]uint64{1, 2, 3}, []uint64{2, 3, 4}, 0.5},
@@ -214,8 +214,11 @@ func TestComputeSequentialEmptySamples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !approxEqual(res.Similarity(0, 1), 1) {
-		t.Errorf("empty vs empty similarity = %v, want 1", res.Similarity(0, 1))
+	if !approxEqual(res.Similarity(0, 1), 0) {
+		t.Errorf("empty vs empty similarity = %v, want 0 (J(∅, ∅) = 0)", res.Similarity(0, 1))
+	}
+	if !approxEqual(res.Similarity(0, 0), 0) {
+		t.Errorf("empty self-similarity = %v, want 0 (J(∅, ∅) = 0)", res.Similarity(0, 0))
 	}
 	if !approxEqual(res.Similarity(0, 2), 0) {
 		t.Errorf("empty vs non-empty similarity = %v, want 0", res.Similarity(0, 2))

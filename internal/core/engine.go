@@ -61,6 +61,7 @@ type runConfig struct {
 	seqWorkers  int // resolved pool size of the sequential path
 	distWorkers int // resolved per-rank pool size of the distributed path
 	tileRows    int // resolved sequential streaming tile height
+	sketch      sketchConfig
 	tuning      *TuningReport
 }
 
@@ -85,6 +86,7 @@ func resolveConfig(opts Options) runConfig {
 	if cfg.tileRows == 0 {
 		cfg.tileRows = DefaultTileRows
 	}
+	cfg.sketch = resolveSketch(opts)
 	return cfg
 }
 
@@ -261,6 +263,21 @@ func (e *Engine) computeSeq(ctx context.Context, ds Dataset, sink TileSink, cfg 
 		allCols[i] = i
 	}
 
+	// MinHash prescreening tier: sketch every sample, estimate every pair,
+	// and gate the exact tier on the survivor mask. The exact tier then
+	// re-scans from sample 0, so hint the restart like any batch boundary.
+	var mask *bitmat.PairMask
+	if cfg.sketch.enabled {
+		var sstats *SketchStats
+		var err error
+		mask, sstats, err = prescreen(ctx, v2, n, m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Sketch = sstats
+		prefetchNextScan(v2, n)
+	}
+
 	// The batch loop's transient buffers — the packed matrix's streams and
 	// slabs, the Gram tile list and per-worker tile accumulators, the
 	// coordinate-entry scratch — cycle through one arena checked out for
@@ -291,6 +308,15 @@ func (e *Engine) computeSeq(ctx context.Context, ds Dataset, sink TileSink, cfg 
 		for _, c := range columns {
 			res.Cardinalities[c.col] += int64(len(c.vals))
 		}
+		if mask != nil {
+			// Prescreen column masking: samples with no surviving partner
+			// are dropped from the pack and from the empty-row filter —
+			// after the cardinality accumulation above, so â stays exact
+			// for every sample. Candidate pairs' intersection counts are
+			// unchanged: rows present only in pruned columns contribute
+			// nothing to surviving pairs.
+			columns, localRows = maskBatchColumns(columns, mask, lo)
+		}
 		nonzero := dist.Compact(localRows)
 		active := len(nonzero)
 		entries, err := packBatch(ctx, columns, nonzero, lo, opts.MaskBits, workers, entriesBuf)
@@ -305,7 +331,7 @@ func (e *Engine) computeSeq(ctx context.Context, ds Dataset, sink TileSink, cfg 
 		if l == 0 && cfg.tuning != nil {
 			cfg.tuning.MeasuredOccupancy = packed.WordOccupancy()
 		}
-		err = packed.GramAccumulateCtxArena(ctx, b, workers, arena)
+		err = packed.GramAccumulateMaskedCtxArena(ctx, b, workers, arena, mask)
 		packed.Release()
 		if err != nil {
 			return nil, err
@@ -320,6 +346,9 @@ func (e *Engine) computeSeq(ctx context.Context, ds Dataset, sink TileSink, cfg 
 	}
 	for _, c := range res.Cardinalities {
 		res.Stats.IndicatorNonzeros += c
+	}
+	if mask != nil {
+		restoreIsolatedDiagonals(b, mask, res.Cardinalities)
 	}
 
 	if sink != nil {
@@ -413,6 +442,11 @@ func (e *Engine) computeDist(ctx context.Context, ds Dataset, sink TileSink, cfg
 	}
 	if err := validateDataset(ds); err != nil {
 		return nil, err
+	}
+	if cfg.sketch.enabled {
+		// Compute (the legacy one-shot API) runs the BSP path even for
+		// Procs == 1; refusing here beats silently ignoring the gate.
+		return nil, fmt.Errorf("core: sketch prescreening runs on the sequential path only; use Engine.Similarity or Engine.Stream with Procs = 1")
 	}
 	v2 := AsV2(ds)
 	opts := cfg.opts

@@ -3,11 +3,13 @@ package core
 import "genomeatscale/internal/sparse"
 
 // JaccardPair computes the exact Jaccard similarity of two sorted,
-// duplicate-free attribute lists. Two empty sets have similarity 1 (the
-// paper's J(∅, ∅) = 1 convention).
+// duplicate-free attribute lists. Two empty sets have similarity 0 (the
+// J(∅, ∅) = 0 convention shared with dist.Jaccard and the MinHash
+// estimator): an empty sample shares nothing with anything, so it must
+// not rank as a perfect match in thresholded or top-k runs.
 func JaccardPair(x, y []uint64) float64 {
 	if len(x) == 0 && len(y) == 0 {
-		return 1
+		return 0
 	}
 	inter := intersectionSize(x, y)
 	union := len(x) + len(y) - inter
@@ -43,7 +45,9 @@ func ExactJaccard(ds Dataset) *sparse.Dense[float64] {
 	out := sparse.NewDense[float64](n, n)
 	for i := 0; i < n; i++ {
 		xi := ds.Sample(i)
-		out.Set(i, i, 1)
+		// The diagonal is computed, not assumed: an empty sample's
+		// self-similarity is 0 under the shared J(∅, ∅) = 0 convention.
+		out.Set(i, i, JaccardPair(xi, xi))
 		for j := i + 1; j < n; j++ {
 			s := JaccardPair(xi, ds.Sample(j))
 			out.Set(i, j, s)

@@ -72,6 +72,14 @@ type Options struct {
 	// its tiles are the processor grid's result blocks.
 	TileRows int
 
+	// Sketch configures the MinHash prescreening tier: when enabled, cheap
+	// bottom-k sketches estimate every pairwise Jaccard first and only
+	// pairs whose estimate reaches Threshold − Slack run through the exact
+	// tiled Gram kernel; everything below is pruned, reported as B = 0,
+	// S = 0, D = 1. Surviving pairs are byte-identical to a non-prescreened
+	// run. Prescreening runs on the sequential path only (Procs must be 1).
+	Sketch SketchOptions
+
 	// Autotune derives the run configuration — Procs, Replication,
 	// BatchCount, TileRows, DenseThreshold — from the dataset's dimensions
 	// and a sampled density estimate at run time, by minimising the BSP cost
@@ -88,6 +96,39 @@ type Options struct {
 	explicit OptField
 }
 
+// SketchOptions configures the MinHash prescreening tier (Options.Sketch).
+// The tier is enabled when Threshold > 0 or Size > 0; a positive Size
+// without a positive Threshold is a validation error, because the gate
+// needs a similarity threshold to prescreen against.
+type SketchOptions struct {
+	// Size is the bottom-k sketch size k. 0 resolves automatically: the
+	// autotuner (or, without Autotune, costmodel.SketchSizeFor) sizes the
+	// sketch from Threshold and Slack. An explicit positive value is
+	// pinned, like any other explicitly set dimension.
+	Size int
+	// Threshold is the similarity threshold τ the run prescreens against:
+	// the exact tier only sees pairs whose estimated Jaccard is at least
+	// Threshold − Slack. It should match the threshold of the run's
+	// Threshold sink (cliutil wires -threshold into both).
+	Threshold float64
+	// Slack is the recall margin s subtracted from Threshold before
+	// gating, absorbing estimator noise so true ≥ τ pairs are not pruned
+	// by an unlucky sketch. 0 resolves to DefaultSketchSlack; Slack and
+	// Threshold together also drive the automatic sketch sizing.
+	Slack float64
+}
+
+// Enabled reports whether the prescreening tier is configured for the
+// run: any nonzero field counts, so a nonsensical combination (a size
+// without a threshold, a negative threshold) surfaces as a Validate error
+// instead of silently disabling the tier.
+func (s SketchOptions) Enabled() bool { return s.Threshold != 0 || s.Size != 0 || s.Slack != 0 }
+
+// DefaultSketchSlack is the recall margin used when SketchOptions.Slack
+// is 0: generous enough that the default sketch sizing (3σ at the
+// boundary) makes pruning a true ≥ τ pair a per-mille event.
+const DefaultSketchSlack = 0.1
+
 // OptField identifies tunable Options dimensions for explicit-override
 // tracking; values combine as a bitset.
 type OptField uint16
@@ -100,6 +141,7 @@ const (
 	FieldDenseThreshold
 	FieldMaskBits
 	FieldWorkers
+	FieldSketchSize
 )
 
 // SetExplicit marks fields as deliberately chosen by the caller: the
@@ -141,6 +183,20 @@ func (o Options) Validate() error {
 	}
 	if o.TileRows < 0 {
 		return fmt.Errorf("core: TileRows must be non-negative (0 = default %d), got %d", DefaultTileRows, o.TileRows)
+	}
+	if o.Sketch.Size < 0 {
+		return fmt.Errorf("core: Sketch.Size must be non-negative (0 = auto), got %d", o.Sketch.Size)
+	}
+	if o.Sketch.Enabled() {
+		if o.Sketch.Threshold <= 0 || o.Sketch.Threshold > 1 {
+			return fmt.Errorf("core: sketch prescreening needs a similarity threshold in (0,1], got Sketch.Threshold %v", o.Sketch.Threshold)
+		}
+		if o.Sketch.Slack < 0 || o.Sketch.Slack > 1 {
+			return fmt.Errorf("core: Sketch.Slack must be in [0,1] (0 = default %v), got %v", DefaultSketchSlack, o.Sketch.Slack)
+		}
+		if o.Procs != 1 {
+			return fmt.Errorf("core: sketch prescreening runs on the sequential path only; Procs must be 1, got %d", o.Procs)
+		}
 	}
 	return nil
 }
@@ -186,6 +242,35 @@ type RunStats struct {
 	// Tuning records the autotuner's decisions and predictions for this run;
 	// nil when Options.Autotune was off.
 	Tuning *TuningReport
+
+	// Sketch records what the MinHash prescreening tier did; nil when
+	// Options.Sketch was off.
+	Sketch *SketchStats
+}
+
+// SketchStats reports the MinHash prescreening tier of one run: how the
+// gate was configured, how much exact work it skipped, and how likely it
+// was to have pruned a true above-threshold pair.
+type SketchStats struct {
+	// Size is the resolved bottom-k sketch size.
+	Size int
+	// Threshold and Slack are the resolved gate parameters: pairs with
+	// estimated Jaccard below Threshold − Slack were pruned.
+	Threshold float64
+	Slack     float64
+	// PairsScreened is the number of distinct unordered pairs (diagonal
+	// included) the estimator evaluated: n(n+1)/2.
+	PairsScreened int64
+	// PairsSurvived is how many of those reached the exact tier.
+	PairsSurvived int64
+	// EstimatedRecall is the modelled probability that a pair with exact
+	// similarity exactly at Threshold survives the gate, from the normal
+	// approximation of the bottom-k estimator (Φ(s·√(k/(τ(1−τ))))). Pairs
+	// above τ survive with higher probability; this is the worst case.
+	EstimatedRecall float64
+	// SketchSeconds is the wall-clock time of the sketch pass plus the
+	// pairwise estimation — the overhead the skipped exact work paid for.
+	SketchSeconds float64
 }
 
 // TuningReport is the chosen-versus-predicted record of one autotuned run:

@@ -48,6 +48,15 @@ type Fixed struct {
 
 	HasDenseThreshold bool
 	DenseThreshold    int
+
+	// Sketch asks the tuner to size the MinHash prescreening sketch for
+	// the given similarity threshold and slack margin. SketchSize > 0 pins
+	// the size (the caller set it explicitly); 0 lets the tuner derive it
+	// from the threshold/slack pair via SketchSizeFor.
+	Sketch          bool
+	SketchSize      int
+	SketchThreshold float64
+	SketchSlack     float64
 }
 
 // Plan is a tuned configuration together with the model predictions it was
@@ -59,6 +68,9 @@ type Plan struct {
 	Batches        int
 	TileRows       int
 	DenseThreshold int
+	// SketchSize is the chosen MinHash prescreening sketch size; 0 when
+	// prescreening is off for the run.
+	SketchSize int
 
 	// PredictedSeconds is the modelled per-batch time of the chosen
 	// (Procs, Replication) point.
@@ -167,6 +179,26 @@ func denseThresholdFor(occupancy float64) int {
 	}
 }
 
+// SketchSizeFor sizes a bottom-k MinHash sketch for prescreening at
+// similarity threshold τ with slack margin s. The merged bottom-k
+// estimator's standard deviation at the decision boundary is
+// ≈ √(τ(1−τ)/k); requiring the slack to cover three standard deviations
+// (k ≥ 9·τ(1−τ)/s²) keeps the probability of pruning a true ≥ τ pair
+// below ~1.5 per mille per pair. The result is rounded up to a power of
+// two and clamped to [64, 4096].
+func SketchSizeFor(threshold, slack float64) int {
+	const minSize, maxSize = 64, 4096
+	if slack <= 0 || threshold <= 0 || threshold > 1 {
+		return maxSize
+	}
+	need := 9 * threshold * (1 - threshold) / (slack * slack)
+	k := minSize
+	for float64(k) < need && k < maxSize {
+		k *= 2
+	}
+	return k
+}
+
 // Tune derives an engine configuration from dataset statistics and a host
 // profile, honouring the caller's pinned dimensions:
 //
@@ -255,6 +287,13 @@ func Tune(m Machine, st DatasetStats, cpus int, fixed Fixed) Plan {
 		plan.DenseThreshold = fixed.DenseThreshold
 	} else {
 		plan.DenseThreshold = denseThresholdFor(plan.PredictedOccupancy)
+	}
+
+	if fixed.Sketch {
+		plan.SketchSize = fixed.SketchSize
+		if plan.SketchSize <= 0 {
+			plan.SketchSize = SketchSizeFor(fixed.SketchThreshold, fixed.SketchSlack)
+		}
 	}
 	return plan
 }

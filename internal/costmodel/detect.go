@@ -32,7 +32,10 @@ const detectProbeWords = 1 << 20
 //   - MemWords is half of /proc/meminfo MemAvailable (in words), leaving
 //     room for operands, accumulators and buffers; a 16 GiB fallback is
 //     used where meminfo is unavailable (non-Linux hosts).
-//   - RanksPerNode is the CPU count: every virtual rank shares this host.
+//   - RanksPerNode is GOMAXPROCS, not runtime.NumCPU: in cgroup-limited
+//     containers (CI runners, k8s pods) NumCPU reports the physical host
+//     and over-provisions ranks, while GOMAXPROCS reflects both the
+//     scheduler's actual parallelism and any explicit operator override.
 //
 // The probe costs about a millisecond; callers that tune repeatedly should
 // reuse the returned profile.
@@ -43,13 +46,14 @@ func Detect() Machine {
 	if alpha < beta {
 		alpha = beta
 	}
+	cpus := max(runtime.GOMAXPROCS(0), 1)
 	return Machine{
-		Name:         fmt.Sprintf("detected(%s/%s, %d CPUs, %s kernel)", runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), bitutil.Kernel()),
+		Name:         fmt.Sprintf("detected(%s/%s, %d CPUs, %s kernel)", runtime.GOOS, runtime.GOARCH, cpus, bitutil.Kernel()),
 		Alpha:        alpha,
 		Beta:         beta,
 		Gamma:        gamma,
 		MemWords:     detectMemWords(),
-		RanksPerNode: max(runtime.NumCPU(), 1),
+		RanksPerNode: cpus,
 	}
 }
 

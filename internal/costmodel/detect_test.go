@@ -1,0 +1,77 @@
+package costmodel
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestDetectHonoursGOMAXPROCS pins the host-detection fix: the probed
+// profile must size RanksPerNode (and the CPU count in the profile name)
+// from runtime.GOMAXPROCS, not runtime.NumCPU, so cgroup CPU limits and
+// explicit operator overrides are respected instead of over-provisioning
+// ranks from the physical host's core count. The test must not run in
+// parallel — GOMAXPROCS is process-global.
+func TestDetectHonoursGOMAXPROCS(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		t.Skip("single-CPU host: a lowered GOMAXPROCS is indistinguishable from NumCPU")
+	}
+	lowered := runtime.NumCPU() - 1
+	prev := runtime.GOMAXPROCS(lowered)
+	defer runtime.GOMAXPROCS(prev)
+
+	m := Detect()
+	if m.RanksPerNode != lowered {
+		t.Fatalf("Detect() with GOMAXPROCS=%d reports RanksPerNode=%d (NumCPU=%d)",
+			lowered, m.RanksPerNode, runtime.NumCPU())
+	}
+	if want := fmt.Sprintf("%d CPUs", lowered); !strings.Contains(m.Name, want) {
+		t.Fatalf("Detect() name %q does not advertise %q", m.Name, want)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("lowered-GOMAXPROCS profile invalid: %v", err)
+	}
+}
+
+// TestSketchSizeFor pins the 3σ sizing rule: k ≥ 9·τ(1−τ)/s², rounded up
+// to a power of two and clamped to [64, 4096].
+func TestSketchSizeFor(t *testing.T) {
+	cases := []struct {
+		threshold, slack float64
+		want             int
+	}{
+		{0.8, 0.1, 256},   // 9·0.16/0.01 = 144 → next power of two
+		{0.5, 0.1, 256},   // worst-case variance: 9·0.25/0.01 = 225
+		{0.9, 0.3, 64},    // tiny requirement → floor
+		{0.5, 0.02, 4096}, // 5625 needed → cap
+		{0.5, 0, 4096},    // degenerate slack → conservative cap
+		{0, 0.1, 4096},    // degenerate threshold → conservative cap
+	}
+	for _, tc := range cases {
+		if got := SketchSizeFor(tc.threshold, tc.slack); got != tc.want {
+			t.Errorf("SketchSizeFor(%g, %g) = %d, want %d", tc.threshold, tc.slack, got, tc.want)
+		}
+	}
+}
+
+// TestTuneSketchSize: the tuner derives a sketch size when prescreening is
+// requested without one, echoes a pinned size verbatim, and leaves the
+// plan's SketchSize zero when prescreening is off.
+func TestTuneSketchSize(t *testing.T) {
+	m := Stampede2KNL()
+	st := DatasetStats{Samples: 200, Attributes: 50000, Density: 0.01}
+
+	plain := Tune(m, st, 4, Fixed{})
+	if plain.SketchSize != 0 {
+		t.Fatalf("no-sketch plan carries SketchSize=%d", plain.SketchSize)
+	}
+	derived := Tune(m, st, 4, Fixed{Sketch: true, SketchThreshold: 0.8, SketchSlack: 0.1})
+	if want := SketchSizeFor(0.8, 0.1); derived.SketchSize != want {
+		t.Fatalf("derived SketchSize=%d, want %d", derived.SketchSize, want)
+	}
+	pinned := Tune(m, st, 4, Fixed{Sketch: true, SketchSize: 512, SketchThreshold: 0.8, SketchSlack: 0.1})
+	if pinned.SketchSize != 512 {
+		t.Fatalf("pinned SketchSize not honoured: %d", pinned.SketchSize)
+	}
+}

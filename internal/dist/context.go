@@ -76,13 +76,16 @@ func (c *Context) LayerWordRows(wordRows int) (lo, hi int) {
 
 // Jaccard derives one similarity entry from an intersection cardinality and
 // the two sample cardinalities (Eq. 2): J = b_ij / (â_i + â_j − b_ij), with
-// the paper's J(∅, ∅) = 1 convention when the union is empty. It is the
-// single Eq. 2 implementation shared by the sequential finalization in
-// internal/core and the blockwise derivation in Blocks.
+// the J(∅, ∅) = 0 convention when the union is empty — an empty sample
+// shares nothing with anything, so it must not pair as a perfect match in
+// thresholded runs (the same convention minhash.EstimateJaccard uses, so
+// the sketch prescreen and the exact tier agree on degenerate pairs). It
+// is the single Eq. 2 implementation shared by the sequential
+// finalization in internal/core and the blockwise derivation in Blocks.
 func Jaccard(bij, ci, cj int64) float64 {
 	union := ci + cj - bij
 	if union == 0 {
-		return 1
+		return 0
 	}
 	return float64(bij) / float64(union)
 }

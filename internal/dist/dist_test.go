@@ -125,7 +125,7 @@ func TestJaccardEq2(t *testing.T) {
 		b, ci, cj int64
 		want      float64
 	}{
-		{0, 0, 0, 1},      // J(∅, ∅) = 1
+		{0, 0, 0, 0},      // J(∅, ∅) = 0: empty samples match nothing
 		{3, 3, 3, 1},      // identical sets
 		{2, 4, 6, 0.25},   // |∩|=2, |∪|=8
 		{0, 3, 5, 0},      // disjoint

@@ -209,10 +209,12 @@ func TestEmptyGraphDataset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// All neighbourhoods empty → all pairs have similarity 1 by convention.
+	// All neighbourhoods empty → all pairs have similarity 0 under the
+	// J(∅, ∅) = 0 convention: an isolated vertex matches nothing, itself
+	// included.
 	for i := 0; i < 3; i++ {
 		for j := 0; j < 3; j++ {
-			if !approx(res.Similarity(i, j), 1) {
+			if !approx(res.Similarity(i, j), 0) {
 				t.Errorf("S(%d,%d) = %v", i, j, res.Similarity(i, j))
 			}
 		}

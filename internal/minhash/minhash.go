@@ -67,12 +67,17 @@ func MustNew(values []uint64, size int) Sketch {
 // EstimateJaccard estimates J(A, B) from two bottom-k sketches using the
 // standard merged-bottom-k estimator: among the k smallest hashes of the
 // union, the fraction present in both sketches.
+//
+// Two empty sketches estimate 0, matching the exact kernel's
+// J(∅, ∅) = 0 convention (dist.Jaccard): an empty sample shares nothing
+// with anything, so it must not pair as a perfect match in thresholded
+// runs.
 func EstimateJaccard(a, b Sketch) (float64, error) {
 	if a.Size != b.Size {
 		return 0, fmt.Errorf("minhash: sketch sizes differ (%d vs %d)", a.Size, b.Size)
 	}
 	if len(a.Hashes) == 0 && len(b.Hashes) == 0 {
-		return 1, nil // both sets empty
+		return 0, nil // both sets empty: J(∅, ∅) = 0, as in dist.Jaccard
 	}
 	// Merge the two sorted hash lists, keeping the k smallest distinct
 	// values of the union and counting how many appear in both.
@@ -92,32 +97,171 @@ func EstimateJaccard(a, b Sketch) (float64, error) {
 		taken++
 	}
 	if taken == 0 {
-		return 1, nil
+		return 0, nil
 	}
 	return float64(shared) / float64(taken), nil
 }
 
+// EstimateAtLeast reports whether EstimateJaccard(a, b) ≥ tau, with the
+// same result but usually far less work: the merged bottom-k scan stops
+// as soon as the running shared/taken counters bound the final estimate
+// on one side of tau. For the prescreening gate's typical workload —
+// mostly dissimilar pairs scanned against a high threshold — the scan
+// ends after a small prefix of the sketches instead of all k positions.
+//
+// The early bounds keep a one-count margin, so any pair within one count
+// of the boundary falls through to the exact final division; the decision
+// is therefore always identical to computing EstimateJaccard and
+// comparing, never off by floating-point rounding.
+func EstimateAtLeast(a, b Sketch, tau float64) (bool, error) {
+	if a.Size != b.Size {
+		return false, fmt.Errorf("minhash: sketch sizes differ (%d vs %d)", a.Size, b.Size)
+	}
+	if len(a.Hashes) == 0 && len(b.Hashes) == 0 {
+		return 0 >= tau, nil // est = 0, as in EstimateJaccard
+	}
+	k := a.Size
+	target := tau * float64(k)
+	i, j, taken, shared := 0, 0, 0, 0
+	for taken < k && (i < len(a.Hashes) || j < len(b.Hashes)) {
+		// est_final ≤ (shared + k − taken)/k: every further position adds at
+		// most one shared count, and the bound is largest when the scan runs
+		// the full k. est_final ≥ shared/k: shared never shrinks and the
+		// denominator never exceeds k.
+		if float64(shared+k-taken)+1 < target {
+			return false, nil
+		}
+		if float64(shared)-1 >= target {
+			return true, nil
+		}
+		switch {
+		case j >= len(b.Hashes) || (i < len(a.Hashes) && a.Hashes[i] < b.Hashes[j]):
+			i++
+		case i >= len(a.Hashes) || b.Hashes[j] < a.Hashes[i]:
+			j++
+		default: // equal → in both
+			shared++
+			i++
+			j++
+		}
+		taken++
+	}
+	if taken == 0 {
+		return 0 >= tau, nil
+	}
+	return float64(shared)/float64(taken) >= tau, nil
+}
+
 // MashDistance converts a Jaccard estimate into the Mash distance for
 // k-mers of length k (Ondov et al. 2016, Eq. 4):
-// D = -(1/k) · ln(2j / (1 + j)), clamped to [0, 1].
-func MashDistance(jaccard float64, k int) float64 {
+// D = -(1/k) · ln(2j / (1 + j)), clamped to [0, 1]. A non-positive k is a
+// propagated error, not a panic, so corrupt parameters surface as run
+// errors on the engine path.
+func MashDistance(jaccard float64, k int) (float64, error) {
 	if k <= 0 {
-		panic(fmt.Sprintf("minhash: non-positive k %d", k))
+		return 0, fmt.Errorf("minhash: k-mer length must be positive, got %d", k)
 	}
 	if jaccard <= 0 {
-		return 1
+		return 1, nil
 	}
 	if jaccard >= 1 {
-		return 0
+		return 0, nil
 	}
 	d := -math.Log(2*jaccard/(1+jaccard)) / float64(k)
 	if d > 1 {
-		return 1
+		d = 1
 	}
 	if d < 0 {
-		return 0
+		d = 0
 	}
-	return d
+	return d, nil
+}
+
+// Builder accumulates a bottom-k sketch incrementally. Because
+// bottom-k(A ∪ B) = bottom-k(bottom-k(A) ∪ bottom-k(B)), feeding a
+// sample's attribute values batch range by batch range yields exactly the
+// sketch New would build from the full set — this is what lets the
+// engine's batch stage sketch out-of-core corpora without materialising
+// whole samples.
+//
+// The hot path is one hash and one compare per value: hashes at or above
+// the current k-th smallest are dropped immediately, and the surviving
+// candidates are buffered and folded in by an occasional sort-and-merge
+// compaction (amortised O(log k) per candidate) instead of per-value heap
+// and hash-map maintenance, which would otherwise dominate on samples not
+// much larger than the sketch.
+type Builder struct {
+	size    int
+	sorted  []uint64 // bottom-k so far: sorted, distinct, len ≤ size
+	pending []uint64 // unmerged candidates below the current threshold
+}
+
+// NewBuilder returns a Builder for sketches of the given size.
+func NewBuilder(size int) (*Builder, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("minhash: sketch size must be positive, got %d", size)
+	}
+	return &Builder{size: size, pending: make([]uint64, 0, size)}, nil
+}
+
+// Add folds more attribute values into the sketch under construction.
+func (b *Builder) Add(values []uint64) {
+	// max is the rejection threshold: once the bottom-k is full, any hash
+	// at or above its maximum is either outside the bottom-k or a
+	// duplicate of that maximum — both ignorable.
+	max := uint64(math.MaxUint64)
+	full := len(b.sorted) == b.size
+	if full {
+		max = b.sorted[b.size-1]
+	}
+	for _, v := range values {
+		h := hash64(v)
+		if full && h >= max {
+			continue
+		}
+		b.pending = append(b.pending, h)
+		if len(b.pending) == cap(b.pending) {
+			b.compact()
+			if full = len(b.sorted) == b.size; full {
+				max = b.sorted[b.size-1]
+			}
+		}
+	}
+}
+
+// compact folds the pending candidates into the sorted bottom-k:
+// sort, merge, de-duplicate, truncate to size.
+func (b *Builder) compact() {
+	if len(b.pending) == 0 {
+		return
+	}
+	slices.Sort(b.pending)
+	merged := make([]uint64, 0, min(len(b.sorted)+len(b.pending), b.size))
+	i, j := 0, 0
+	for len(merged) < b.size && (i < len(b.sorted) || j < len(b.pending)) {
+		var h uint64
+		switch {
+		case j >= len(b.pending) || (i < len(b.sorted) && b.sorted[i] <= b.pending[j]):
+			h = b.sorted[i]
+			i++
+		default:
+			h = b.pending[j]
+			j++
+		}
+		if n := len(merged); n > 0 && merged[n-1] == h {
+			continue // duplicate value (hash64 is injective)
+		}
+		merged = append(merged, h)
+	}
+	b.sorted = merged
+	b.pending = b.pending[:0]
+}
+
+// Sketch finalises the accumulated state into a Sketch. The Builder stays
+// usable; later Adds keep refining the same sketch.
+func (b *Builder) Sketch() Sketch {
+	b.compact()
+	return Sketch{Size: b.size, Hashes: slices.Clone(b.sorted)}
 }
 
 // EstimateMatrix estimates the full pairwise Jaccard similarity matrix from
@@ -128,7 +272,13 @@ func EstimateMatrix(sketches []Sketch) ([][]float64, error) {
 	out := make([][]float64, n)
 	for i := range out {
 		out[i] = make([]float64, n)
-		out[i][i] = 1
+		// The diagonal goes through the estimator too, so an empty sample's
+		// self-similarity is 0, matching the exact kernel's convention.
+		est, err := EstimateJaccard(sketches[i], sketches[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i][i] = est
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {

@@ -1,18 +1,19 @@
-package minhash
+package minhash_test
 
 import (
 	"math"
 	"testing"
 
 	"genomeatscale/internal/core"
+	"genomeatscale/internal/minhash"
 	"genomeatscale/internal/synth"
 )
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New([]uint64{1, 2}, 0); err == nil {
+	if _, err := minhash.New([]uint64{1, 2}, 0); err == nil {
 		t.Error("size 0 should error")
 	}
-	s, err := New([]uint64{1, 2, 3}, 10)
+	s, err := minhash.New([]uint64{1, 2, 3}, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func TestNewValidation(t *testing.T) {
 			t.Error("hashes must be sorted and distinct")
 		}
 	}
-	big := MustNew(manyValues(5000), 100)
+	big := minhash.MustNew(manyValues(5000), 100)
 	if len(big.Hashes) != 100 {
 		t.Errorf("sketch size = %d, want 100", len(big.Hashes))
 	}
@@ -36,7 +37,7 @@ func TestMustNewPanics(t *testing.T) {
 			t.Error("expected panic")
 		}
 	}()
-	MustNew(nil, 0)
+	minhash.MustNew(nil, 0)
 }
 
 func manyValues(n int) []uint64 {
@@ -49,9 +50,9 @@ func manyValues(n int) []uint64 {
 
 func TestEstimateIdenticalAndDisjoint(t *testing.T) {
 	vals := manyValues(3000)
-	a := MustNew(vals, 200)
-	b := MustNew(vals, 200)
-	j, err := EstimateJaccard(a, b)
+	a := minhash.MustNew(vals, 200)
+	b := minhash.MustNew(vals, 200)
+	j, err := minhash.EstimateJaccard(a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,8 +63,8 @@ func TestEstimateIdenticalAndDisjoint(t *testing.T) {
 	for i := range other {
 		other[i] = uint64(i+1000000) * 40503
 	}
-	c := MustNew(other, 200)
-	j, err = EstimateJaccard(a, c)
+	c := minhash.MustNew(other, 200)
+	j, err = minhash.EstimateJaccard(a, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,23 +73,81 @@ func TestEstimateIdenticalAndDisjoint(t *testing.T) {
 	}
 }
 
+// TestEstimateEmptySets pins the empty-set convention: two empty sketches
+// estimate J = 0, exactly like the exact kernel (dist.Jaccard via
+// core.JaccardPair). Anything else would let empty samples pair as perfect
+// matches and flood thresholded runs once sketches gate the exact tier.
 func TestEstimateEmptySets(t *testing.T) {
-	a := MustNew(nil, 10)
-	b := MustNew(nil, 10)
-	j, err := EstimateJaccard(a, b)
+	a := minhash.MustNew(nil, 10)
+	b := minhash.MustNew(nil, 10)
+	j, err := minhash.EstimateJaccard(a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if j != 1 {
-		t.Errorf("empty vs empty = %v, want 1", j)
+	if j != 0 {
+		t.Errorf("empty vs empty = %v, want 0", j)
+	}
+	if exact := core.JaccardPair(nil, nil); exact != j {
+		t.Errorf("sketch estimate %v disagrees with exact kernel %v on empty sets", j, exact)
+	}
+	// One empty side: both tiers must agree on 0 as well.
+	c := minhash.MustNew([]uint64{1, 2, 3}, 10)
+	j, err = minhash.EstimateJaccard(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact := core.JaccardPair(nil, []uint64{1, 2, 3}); j != 0 || exact != 0 {
+		t.Errorf("empty vs non-empty: sketch %v, exact %v, want 0 for both", j, exact)
 	}
 }
 
 func TestEstimateSizeMismatch(t *testing.T) {
-	a := MustNew([]uint64{1}, 10)
-	b := MustNew([]uint64{1}, 20)
-	if _, err := EstimateJaccard(a, b); err == nil {
+	a := minhash.MustNew([]uint64{1}, 10)
+	b := minhash.MustNew([]uint64{1}, 20)
+	if _, err := minhash.EstimateJaccard(a, b); err == nil {
 		t.Error("size mismatch should error")
+	}
+	if _, err := minhash.EstimateAtLeast(a, b, 0.5); err == nil {
+		t.Error("size mismatch should error in EstimateAtLeast too")
+	}
+}
+
+// TestEstimateAtLeastMatchesEstimate pins the early-exit gate predicate to
+// the full estimator: across similarity targets, sketch sizes, set sizes
+// (including empty and sub-sketch-size sets) and thresholds — boundary
+// values included — EstimateAtLeast(a, b, τ) must equal
+// EstimateJaccard(a, b) ≥ τ in every single case.
+func TestEstimateAtLeastMatchesEstimate(t *testing.T) {
+	rng := synth.NewRNG(31)
+	sizes := []int{1, 16, 256}
+	var sketchPairs [][2]minhash.Sketch
+	for _, size := range sizes {
+		for _, target := range []float64{0, 0.1, 0.5, 0.8, 0.95, 1} {
+			for _, n := range []int{0, 3, 100, 2000} {
+				x, y := synth.PairWithJaccard(rng, 1<<40, n, target)
+				sketchPairs = append(sketchPairs, [2]minhash.Sketch{
+					minhash.MustNew(x, size), minhash.MustNew(y, size),
+				})
+			}
+		}
+	}
+	for _, p := range sketchPairs {
+		est, err := minhash.EstimateJaccard(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Boundary taus: exactly est, one count either side, and extremes.
+		k := float64(p[0].Size)
+		for _, tau := range []float64{-0.1, 0, est - 1/k, est, est + 1/k, 0.5, 0.7, 1, 1.1} {
+			got, err := minhash.EstimateAtLeast(p[0], p[1], tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := est >= tau; got != want {
+				t.Fatalf("EstimateAtLeast(τ=%v) = %v, but EstimateJaccard = %v (k=%d, |a|=%d, |b|=%d)",
+					tau, got, est, p[0].Size, len(p[0].Hashes), len(p[1].Hashes))
+			}
+		}
 	}
 }
 
@@ -97,9 +156,9 @@ func TestEstimateAccuracyAcrossSimilarities(t *testing.T) {
 	for _, target := range []float64{0.1, 0.3, 0.5, 0.8, 0.95} {
 		x, y := synth.PairWithJaccard(rng, 1<<40, 5000, target)
 		exact := core.JaccardPair(sortedCopy(x), sortedCopy(y))
-		a := MustNew(x, 1000)
-		b := MustNew(y, 1000)
-		est, err := EstimateJaccard(a, b)
+		a := minhash.MustNew(x, 1000)
+		b := minhash.MustNew(y, 1000)
+		est, err := minhash.EstimateJaccard(a, b)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,8 +179,8 @@ func TestSmallSketchLosesAccuracy(t *testing.T) {
 	for i := 0; i < trials; i++ {
 		x, y := synth.PairWithJaccard(rng, 1<<40, 8000, 0.97)
 		exact := core.JaccardPair(sortedCopy(x), sortedCopy(y))
-		small, _ := EstimateJaccard(MustNew(x, 50), MustNew(y, 50))
-		big, _ := EstimateJaccard(MustNew(x, 4000), MustNew(y, 4000))
+		small, _ := minhash.EstimateJaccard(minhash.MustNew(x, 50), minhash.MustNew(y, 50))
+		big, _ := minhash.EstimateJaccard(minhash.MustNew(x, 4000), minhash.MustNew(y, 4000))
 		smallErr += math.Abs(small - exact)
 		bigErr += math.Abs(big - exact)
 	}
@@ -131,20 +190,27 @@ func TestSmallSketchLosesAccuracy(t *testing.T) {
 }
 
 func TestMashDistance(t *testing.T) {
-	if MashDistance(1, 21) != 0 {
+	mash := func(j float64, k int) float64 {
+		d, err := minhash.MashDistance(j, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if mash(1, 21) != 0 {
 		t.Error("J=1 → distance 0")
 	}
-	if MashDistance(0, 21) != 1 {
+	if mash(0, 21) != 1 {
 		t.Error("J=0 → distance 1")
 	}
-	d := MashDistance(0.9, 21)
+	d := mash(0.9, 21)
 	if d <= 0 || d >= 0.01 {
-		t.Errorf("MashDistance(0.9,21) = %v, expected small positive", d)
+		t.Errorf("minhash.MashDistance(0.9,21) = %v, expected small positive", d)
 	}
 	// Monotonicity: higher similarity → smaller distance.
 	prev := 1.0
 	for _, j := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
-		d := MashDistance(j, 31)
+		d := mash(j, 31)
 		if d >= prev {
 			t.Errorf("MashDistance not monotone at J=%v", j)
 		}
@@ -152,20 +218,21 @@ func TestMashDistance(t *testing.T) {
 	}
 }
 
-func TestMashDistancePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
+// A non-positive k is a propagated error, not a panic (the PR 5 "corrupt
+// input is a run error" rule).
+func TestMashDistanceError(t *testing.T) {
+	for _, k := range []int{0, -3} {
+		if _, err := minhash.MashDistance(0.5, k); err == nil {
+			t.Errorf("k=%d should error", k)
 		}
-	}()
-	MashDistance(0.5, 0)
+	}
 }
 
 func TestEstimateMatrix(t *testing.T) {
 	rng := synth.NewRNG(9)
 	x, y := synth.PairWithJaccard(rng, 1<<40, 2000, 0.5)
-	sketches := []Sketch{MustNew(x, 500), MustNew(y, 500), MustNew(nil, 500)}
-	m, err := EstimateMatrix(sketches)
+	sketches := []minhash.Sketch{minhash.MustNew(x, 500), minhash.MustNew(y, 500), minhash.MustNew(nil, 500)}
+	m, err := minhash.EstimateMatrix(sketches)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,8 +240,12 @@ func TestEstimateMatrix(t *testing.T) {
 		t.Fatal("wrong matrix size")
 	}
 	for i := range m {
-		if m[i][i] != 1 {
-			t.Error("diagonal must be 1")
+		want := 1.0
+		if len(sketches[i].Hashes) == 0 {
+			want = 0 // empty sample: J(∅, ∅) = 0, matching the exact kernel
+		}
+		if m[i][i] != want {
+			t.Errorf("diagonal[%d] = %v, want %v", i, m[i][i], want)
 		}
 		for j := range m {
 			if m[i][j] != m[j][i] {
@@ -185,10 +256,57 @@ func TestEstimateMatrix(t *testing.T) {
 	if math.Abs(m[0][1]-0.5) > 0.1 {
 		t.Errorf("m[0][1] = %v, want ≈0.5", m[0][1])
 	}
-	bad := []Sketch{MustNew(x, 10), MustNew(y, 20)}
-	if _, err := EstimateMatrix(bad); err == nil {
+	bad := []minhash.Sketch{minhash.MustNew(x, 10), minhash.MustNew(y, 20)}
+	if _, err := minhash.EstimateMatrix(bad); err == nil {
 		t.Error("mismatched sketches should error")
 	}
+}
+
+// TestBuilderMatchesNew pins the property the engine's batch-wise sketch
+// pass relies on: feeding a sample's values to a Builder in arbitrary
+// chunks yields exactly the sketch New builds from the full value list.
+func TestBuilderMatchesNew(t *testing.T) {
+	rng := synth.NewRNG(23)
+	for _, n := range []int{0, 1, 50, 500, 5000} {
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64() >> 20 // force occasional duplicates
+		}
+		for _, size := range []int{1, 7, 64, 256} {
+			want := minhash.MustNew(vals, size)
+			b, err := minhash.NewBuilder(size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for lo := 0; lo < len(vals); {
+				hi := lo + 1 + int(rng.Uint64()%97)
+				if hi > len(vals) {
+					hi = len(vals)
+				}
+				b.Add(vals[lo:hi])
+				lo = hi
+			}
+			got := b.Sketch()
+			if got.Size != want.Size || !equalU64(got.Hashes, want.Hashes) {
+				t.Fatalf("n=%d size=%d: builder sketch differs from New", n, size)
+			}
+		}
+	}
+	if _, err := minhash.NewBuilder(0); err == nil {
+		t.Error("minhash.NewBuilder(0) should error")
+	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func sortedCopy(xs []uint64) []uint64 {
