@@ -23,6 +23,7 @@ fuzz:
 	go test -run=^$$ -fuzz=FuzzReadBinary -fuzztime=10s ./internal/samplefile
 	go test -run=^$$ -fuzz=FuzzFromEntries -fuzztime=10s ./internal/bitmat
 	go test -run=^$$ -fuzz=FuzzPopcountAndSlice -fuzztime=10s ./internal/bitutil
+	go test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=10s ./internal/bsp/tcptransport
 
 # bench writes kernel-level benchmark results (density sweep × storage
 # policy × workers, asm-vs-portable dispatch, arena allocations,

@@ -1,0 +1,184 @@
+// Command bsprank launches all ranks of a multi-process TCP BSP job on one
+// machine: it picks a free loopback listen port per rank, expands the
+// {rank}, {peers} and {nprocs} placeholders in the program arguments, and
+// runs one process per rank with its output prefixed by the rank number.
+//
+// Example — a 4-rank similarityatscale job over localhost:
+//
+//	bsprank -n 4 -- similarityatscale -m 1000000 \
+//	    -transport tcp -rank {rank} -peers {peers} a.txt b.txt c.txt
+//
+// The first rank to fail cancels the rest (they are killed, not left to
+// time out), and bsprank exits with that rank's error; Ctrl-C kills the
+// whole job. With -base-port the ports are base..base+n-1 instead of
+// kernel-assigned free ports.
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bsprank:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	n := 2
+	host := "127.0.0.1"
+	basePort := 0
+	var prog []string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-n", "--n":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-n needs a value")
+			}
+			v, err := strconv.Atoi(args[i])
+			if err != nil {
+				return fmt.Errorf("-n: %w", err)
+			}
+			n = v
+		case "-host", "--host":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-host needs a value")
+			}
+			host = args[i]
+		case "-base-port", "--base-port":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("-base-port needs a value")
+			}
+			v, err := strconv.Atoi(args[i])
+			if err != nil {
+				return fmt.Errorf("-base-port: %w", err)
+			}
+			basePort = v
+		case "--":
+			prog = args[i+1:]
+			i = len(args)
+		default:
+			return fmt.Errorf("unknown flag %q (program goes after --)", args[i])
+		}
+	}
+	if n < 2 {
+		return fmt.Errorf("-n must be at least 2, got %d", n)
+	}
+	if len(prog) == 0 {
+		return fmt.Errorf("no program given; usage: bsprank -n 4 [-host H] [-base-port P] -- prog args...")
+	}
+
+	peers, err := pickPeers(host, basePort, n)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "bsprank: launching %d ranks: %s\n", n, strings.Join(peers, ","))
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var mu sync.Mutex // serialises prefixed output lines
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if err := runRank(ctx, r, n, peers, prog, out, &mu); err != nil {
+				errs[r] = err
+				cancel() // first failure kills the surviving ranks
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err // interrupted from outside, no rank of its own failed
+	}
+	fmt.Fprintf(out, "bsprank: all %d ranks completed\n", n)
+	return nil
+}
+
+// pickPeers assembles the rank-ordered listen address list: explicit
+// base..base+n-1 ports, or n kernel-assigned free ports (bound and
+// released — a launcher-grade reservation, not an airtight one).
+func pickPeers(host string, basePort, n int) ([]string, error) {
+	peers := make([]string, n)
+	if basePort > 0 {
+		for r := 0; r < n; r++ {
+			peers[r] = net.JoinHostPort(host, strconv.Itoa(basePort+r))
+		}
+		return peers, nil
+	}
+	for r := 0; r < n; r++ {
+		ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+		if err != nil {
+			return nil, fmt.Errorf("reserving port for rank %d: %w", r, err)
+		}
+		peers[r] = ln.Addr().String()
+		defer ln.Close()
+	}
+	return peers, nil
+}
+
+func runRank(ctx context.Context, rank, n int, peers, prog []string, out io.Writer, mu *sync.Mutex) error {
+	expanded := make([]string, len(prog))
+	repl := strings.NewReplacer(
+		"{rank}", strconv.Itoa(rank),
+		"{peers}", strings.Join(peers, ","),
+		"{nprocs}", strconv.Itoa(n),
+	)
+	for i, a := range prog {
+		expanded[i] = repl.Replace(a)
+	}
+
+	cmd := exec.CommandContext(ctx, expanded[0], expanded[1:]...)
+	// After a kill, don't wait on grandchildren that inherited the output
+	// pipe (a killed shell's children keep it open indefinitely).
+	cmd.WaitDelay = 5 * time.Second
+	pr, pw := io.Pipe()
+	cmd.Stdout = pw
+	cmd.Stderr = pw
+	var forward sync.WaitGroup
+	forward.Add(1)
+	go func() {
+		defer forward.Done()
+		sc := bufio.NewScanner(pr)
+		sc.Buffer(make([]byte, 64*1024), 1024*1024)
+		for sc.Scan() {
+			mu.Lock()
+			fmt.Fprintf(out, "[rank %d] %s\n", rank, sc.Text())
+			mu.Unlock()
+		}
+	}()
+	err := cmd.Run()
+	pw.Close()
+	forward.Wait()
+	if err != nil && ctx.Err() != nil {
+		// Killed by the launcher after another rank failed (or Ctrl-C):
+		// report the cancellation, not the resulting kill signal.
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunExpandsPlaceholders(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(),
+		[]string{"-n", "3", "--", "/bin/sh", "-c", "echo rank {rank} of {nprocs} peers {peers}"},
+		&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"launching 3 ranks",
+		"rank 0 of 3 peers 127.0.0.1:",
+		"rank 1 of 3",
+		"rank 2 of 3",
+		"all 3 ranks completed",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunFirstFailureCancelsRest(t *testing.T) {
+	var out strings.Builder
+	// Rank 1 exits nonzero immediately; the others sleep long enough that
+	// only cancellation can end them within the test timeout.
+	err := run(context.Background(),
+		[]string{"-n", "3", "--", "/bin/sh", "-c", "if [ {rank} = 1 ]; then exit 7; fi; sleep 60"},
+		&out)
+	if err == nil {
+		t.Fatal("failing rank reported no error")
+	}
+	if !strings.Contains(err.Error(), "rank 1") {
+		t.Errorf("error %q does not identify rank 1", err)
+	}
+}
+
+func TestRunRejectsBadUsage(t *testing.T) {
+	var out strings.Builder
+	cases := [][]string{
+		{"-n", "1", "--", "true"}, // fewer than two ranks
+		{"-n", "2"},               // no program
+		{"-bogus", "--", "true"},  // unknown flag
+		{"-n", "x", "--", "true"}, // non-numeric n
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunBasePortPeers(t *testing.T) {
+	peers, err := pickPeers("10.0.0.5", 9100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"10.0.0.5:9100", "10.0.0.5:9101", "10.0.0.5:9102"}
+	for i := range want {
+		if peers[i] != want[i] {
+			t.Errorf("peer %d = %q, want %q", i, peers[i], want[i])
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	genomeatscale "genomeatscale"
 	"genomeatscale/internal/cliutil"
 	"genomeatscale/internal/cluster"
 	"genomeatscale/internal/genome"
@@ -43,6 +44,7 @@ func run(args []string, out *os.File) error {
 	canonical := fs.Bool("canonical", true, "use canonical (strand-independent) k-mers")
 	minCount := fs.Int("min-count", 1, "drop k-mers occurring fewer than this many times in a sample (noise filter)")
 	compute := cliutil.BindCompute(fs)
+	transport := cliutil.BindTransport(fs)
 	simPath := fs.String("similarity", "", "write the similarity matrix to this TSV file")
 	distPath := fs.String("distance", "", "write the distance matrix to this TSV file")
 	phylipPath := fs.String("phylip", "", "write the distance matrix in PHYLIP format to this file")
@@ -81,6 +83,9 @@ func run(args []string, out *os.File) error {
 	}
 
 	if compute.Streaming() {
+		if transport.TCP() {
+			return fmt.Errorf("streaming mode (-top-k/-threshold) runs in-process; drop -transport tcp")
+		}
 		if *simPath != "" || *distPath != "" || *phylipPath != "" || *newickPath != "" {
 			return fmt.Errorf("streaming mode (-top-k/-threshold) does not gather the matrices; drop -similarity/-distance/-phylip/-newick")
 		}
@@ -99,7 +104,13 @@ func run(args []string, out *os.File) error {
 		return output.WritePairs(out, pairs)
 	}
 
-	e, err := compute.Engine()
+	opts := compute.Options()
+	closeTransport, err := transport.Setup(&opts)
+	if err != nil {
+		return err
+	}
+	defer closeTransport()
+	e, err := genomeatscale.NewEngineFromOptions(opts)
 	if err != nil {
 		return err
 	}
@@ -108,14 +119,20 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 
+	if !transport.Root() {
+		// Non-root TCP ranks hold no gathered matrix — rank 0 writes the
+		// outputs for the whole job.
+		fmt.Fprintf(out, "\nrank %d of %d: run complete in %.3fs\n",
+			*transport.Rank, opts.Procs, res.Stats.TotalSeconds)
+		cliutil.PrintComm(out, &res.Stats)
+		return nil
+	}
+
 	fmt.Fprintf(out, "\ncomputed %d×%d Jaccard similarity matrix in %.3fs (%d batches)\n",
 		res.N, res.N, res.Stats.TotalSeconds, res.Stats.Batches)
 	cliutil.PrintTuning(out, res.Stats.Tuning)
 	cliutil.PrintSketch(out, res.Stats.Sketch)
-	if res.Stats.Comm != nil {
-		fmt.Fprintf(out, "communication: %d supersteps, %.2f MiB total\n",
-			res.Stats.Comm.Supersteps, float64(res.Stats.Comm.TotalBytes)/(1<<20))
-	}
+	cliutil.PrintComm(out, &res.Stats)
 
 	if *simPath != "" {
 		if err := cliutil.WriteMatrixTSVFile(*simPath, res.Names, res.S); err != nil {

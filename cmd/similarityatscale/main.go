@@ -19,6 +19,15 @@
 //
 //	similarityatscale -m 1000000 -procs 4 -batches 2 -workers 1 -output sim.tsv a.txt b.txt c.txt
 //	similarityatscale -m 1000000 -dir samples/ -pattern '*.smp' -prefetch 128 -top-k 20
+//
+// With -transport tcp the process runs as ONE rank of a multi-process BSP
+// job: every process is started with identical flags except -rank, the
+// peer list names each rank's listen address, and rank 0 assembles and
+// prints the matrix while the other ranks report completion only. The
+// cmd/bsprank launcher starts all ranks of such a job on one machine:
+//
+//	similarityatscale -m 1000000 -transport tcp -rank 0 -peers :9000,:9001 a.txt b.txt &
+//	similarityatscale -m 1000000 -transport tcp -rank 1 -peers :9000,:9001 a.txt b.txt
 package main
 
 import (
@@ -46,6 +55,7 @@ func run(args []string, out *os.File) error {
 	fs := cliutil.NewFlagSet("similarityatscale")
 	maxVal := fs.Uint64("m", 0, "number of possible attribute values (0 = derive from the data; required with -dir)")
 	compute := cliutil.BindCompute(fs)
+	transport := cliutil.BindTransport(fs)
 	ingest := cliutil.BindIngest(fs)
 	outPath := fs.String("output", "", "write the similarity matrix to this TSV file (default: print)")
 	distance := fs.Bool("distance", false, "report Jaccard distances (1 − J) instead of similarities")
@@ -108,6 +118,9 @@ func run(args []string, out *os.File) error {
 	}
 
 	if compute.Streaming() {
+		if transport.TCP() {
+			return fmt.Errorf("streaming mode (-top-k/-threshold) runs in-process; drop -transport tcp")
+		}
 		if *outPath != "" {
 			return fmt.Errorf("streaming mode (-top-k/-threshold) does not gather the matrix; drop -output")
 		}
@@ -127,13 +140,27 @@ func run(args []string, out *os.File) error {
 		return output.WritePairs(out, pairs)
 	}
 
-	e, err := compute.Engine()
+	opts := compute.Options()
+	closeTransport, err := transport.Setup(&opts)
+	if err != nil {
+		return err
+	}
+	defer closeTransport()
+	e, err := core.NewEngine(opts)
 	if err != nil {
 		return err
 	}
 	res, err := e.Similarity(context.Background(), ds)
 	if err != nil {
 		return err
+	}
+
+	if !transport.Root() {
+		// Non-root TCP ranks hold no gathered matrix — rank 0 prints it.
+		fmt.Fprintf(out, "rank %d of %d: run complete in %.3fs\n",
+			*transport.Rank, opts.Procs, res.Stats.TotalSeconds)
+		cliutil.PrintComm(out, &res.Stats)
+		return nil
 	}
 
 	matrix := res.S
@@ -147,6 +174,7 @@ func run(args []string, out *os.File) error {
 	cliutil.PrintTuning(out, res.Stats.Tuning)
 	cliutil.PrintSketch(out, res.Stats.Sketch)
 	cliutil.PrintIngest(out, res.Stats.Ingest)
+	cliutil.PrintComm(out, &res.Stats)
 
 	if *outPath != "" {
 		if err := cliutil.WriteMatrixTSVFile(*outPath, res.Names, matrix); err != nil {

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -108,5 +111,83 @@ func TestReadValues(t *testing.T) {
 	}
 	if len(got) != 3 || got[0] != 7 || got[2] != 9 {
 		t.Errorf("readValues = %v", got)
+	}
+}
+
+// TestRunTCPTransport runs the CLI as a 2-rank TCP job — both ranks
+// in-process through run(), exactly the per-process entry bsprank spawns —
+// and checks rank 0 prints the matrix while rank 1 only reports completion.
+func TestRunTCPTransport(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSampleFile(t, dir, "a.txt", []string{"1", "2", "3"})
+	b := writeSampleFile(t, dir, "b.txt", []string{"2", "3", "4"})
+
+	ports := make([]string, 2)
+	for i := range ports {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports[i] = ln.Addr().String()
+		ln.Close()
+	}
+	peers := strings.Join(ports, ",")
+
+	outs := make([]*os.File, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		outs[r], _ = os.CreateTemp(dir, "stdout")
+		defer outs[r].Close()
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			errs[r] = run([]string{
+				"-transport", "tcp", "-rank", fmt.Sprint(r), "-peers", peers,
+				"-batches", "2", "-workers", "1", a, b,
+			}, outs[r])
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	root, _ := os.ReadFile(outs[0].Name())
+	if !strings.Contains(string(root), "0.5000") {
+		t.Errorf("rank 0 output missing J=0.5 matrix:\n%s", root)
+	}
+	if !strings.Contains(string(root), "transport: ") {
+		t.Errorf("rank 0 output missing transport stats line:\n%s", root)
+	}
+	other, _ := os.ReadFile(outs[1].Name())
+	if !strings.Contains(string(other), "rank 1 of 2: run complete") {
+		t.Errorf("rank 1 output missing completion line:\n%s", other)
+	}
+	if strings.Contains(string(other), "0.5000") {
+		t.Errorf("rank 1 printed a matrix it should not hold:\n%s", other)
+	}
+}
+
+func TestRunTransportFlagErrors(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSampleFile(t, dir, "a.txt", []string{"1"})
+	b := writeSampleFile(t, dir, "b.txt", []string{"2"})
+	stdout, _ := os.CreateTemp(dir, "stdout")
+	defer stdout.Close()
+	cases := [][]string{
+		{"-transport", "tcp", a, b},                                          // no peers
+		{"-transport", "tcp", "-peers", "h:1", a, b},                         // one peer
+		{"-transport", "tcp", "-rank", "5", "-peers", "h:1,h:2", a, b},       // rank out of range
+		{"-rank", "1", a, b},                                                 // rank without tcp
+		{"-peers", "h:1,h:2", a, b},                                          // peers without tcp
+		{"-transport", "carrier-pigeon", a, b},                               // unknown backend
+		{"-transport", "tcp", "-peers", "h:1,h:2", "-threshold", ".5", a, b}, // streaming over tcp
+	}
+	for _, args := range cases {
+		if err := run(args, stdout); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }

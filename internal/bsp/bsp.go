@@ -1,15 +1,22 @@
-// Package bsp provides an in-process Bulk Synchronous Parallel runtime that
-// stands in for MPI in this Go reproduction of SimilarityAtScale.
+// Package bsp provides a Bulk Synchronous Parallel runtime that stands in
+// for MPI in this Go reproduction of SimilarityAtScale.
 //
 // The paper analyses the algorithm in the BSP model (Section III-C): p
 // processors, a per-superstep synchronisation cost α, a per-byte bandwidth
-// cost β, and a per-operation compute cost γ. This package executes one
-// goroutine per virtual rank with true superstep semantics — messages sent
-// during a superstep are delivered only after the global synchronisation —
-// and records, per superstep, exactly how many bytes each rank injected and
+// cost β, and a per-operation compute cost γ. This package executes SPMD
+// rank programs with true superstep semantics — messages sent during a
+// superstep are delivered only after the global synchronisation — and
+// records, per superstep, exactly how many bytes each rank injected and
 // received (the h-relation). Those measurements feed the cost model in
 // internal/costmodel, which converts them into projected wall-clock times
 // on a Stampede2-like machine, reproducing the paper's scaling figures.
+//
+// The superstep exchange itself is pluggable (see Transport): Run and
+// RunCtx execute every rank as a goroutine of one process over the
+// in-process memory transport — the default, and the implementation the
+// equivalence grid pins — while RunRank executes a single rank of a
+// multi-process run over any Transport (internal/bsp/tcptransport provides
+// the TCP implementation).
 //
 // Programs are SPMD: every rank runs the same function and must execute the
 // same sequence of Sync and collective calls. A rank may finish early; the
@@ -27,23 +34,36 @@ import (
 type Message struct {
 	From, To int
 	Tag      int
-	Payload  any
-	Bytes    int
+	// Seq is the per-sender send sequence number, assigned in Send order
+	// over the whole run. Together with From it gives every delivered
+	// message batch a deterministic order (see RecvAll), identical across
+	// transports.
+	Seq     int
+	Payload any
+	Bytes   int
 }
 
 // Stats aggregates communication and computation accounting for one Run.
+//
+// For in-process runs (Run, RunCtx) the statistics are global: every rank
+// of the run contributes to the same Stats. For a RunRank over a remote
+// transport each process observes only its own rank's traffic, so the
+// per-rank slices are filled at the local rank's index only and HRelations
+// holds the local rank's per-superstep max(sent, received) — a lower bound
+// on the global h-relation.
 type Stats struct {
-	// Procs is the number of virtual ranks.
+	// Procs is the number of ranks.
 	Procs int
 	// Supersteps is the number of global synchronisations performed.
 	Supersteps int
-	// TotalBytes is the total volume of point-to-point traffic.
+	// TotalBytes is the total volume of point-to-point traffic injected by
+	// the ranks this Stats observed.
 	TotalBytes int64
-	// TotalMessages counts delivered messages.
+	// TotalMessages counts messages injected by the observed ranks.
 	TotalMessages int64
-	// HRelations[s] is the h-relation of superstep s: the maximum over ranks
-	// of bytes sent or received in that superstep. The BSP communication
-	// cost of the run is Σ_s (α + β·HRelations[s]).
+	// HRelations[s] is the h-relation of superstep s: the maximum over
+	// observed ranks of bytes sent or received in that superstep. The BSP
+	// communication cost of the run is Σ_s (α + β·HRelations[s]).
 	HRelations []int64
 	// BytesSentPerRank[r] is the total bytes rank r injected.
 	BytesSentPerRank []int64
@@ -54,6 +74,21 @@ type Stats struct {
 	// MemWordsPerRank[r] is the peak memory (64-bit words) rank r reported
 	// via NoteMemory.
 	MemWordsPerRank []int64
+
+	// Transport holds the wire-level counters of the run's transport
+	// (dials, retries, bytes on the wire, max superstep exchange latency);
+	// nil for the in-process memory transport, which has no wire.
+	Transport *TransportStats
+}
+
+func newStats(p int) *Stats {
+	return &Stats{
+		Procs:            p,
+		BytesSentPerRank: make([]int64, p),
+		BytesRecvPerRank: make([]int64, p),
+		FlopsPerRank:     make([]int64, p),
+		MemWordsPerRank:  make([]int64, p),
+	}
 }
 
 // MaxFlops returns the largest per-rank reported work (the critical path of
@@ -100,8 +135,11 @@ func (s *Stats) MaxMemWords() int64 {
 	return m
 }
 
-// runtime is the shared state behind one Run call.
-type runtime struct {
+// memHub is the shared state behind one in-process run: the barrier, the
+// staged messages of the current superstep, and the abort latch. It is pure
+// message routing — statistics are accounted rank-side in Proc, identically
+// for every transport.
+type memHub struct {
 	p int
 
 	mu        sync.Mutex
@@ -113,24 +151,132 @@ type runtime struct {
 	abortErr  error
 	staged    []Message // messages staged during the current superstep
 	nextInbox [][]Message
-
-	// per-superstep accounting (reset each superstep)
-	sentThisStep []int64
-	recvThisStep []int64
-
-	stats Stats
 }
 
+func newMemHub(p int) *memHub {
+	h := &memHub{p: p, nextInbox: make([][]Message, p)}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// MemTransport is one rank's endpoint of the in-process memory transport:
+// all ranks live in one process and the superstep exchange is a shared
+// staging buffer behind a condition-variable barrier. It is the default
+// transport of Run and RunCtx; MemCluster hands out wired endpoints for
+// code that drives ranks through RunRank or RunCluster (tests, fault
+// injection).
+type MemTransport struct {
+	hub  *memHub
+	rank int
+}
+
+// MemCluster returns p connected in-process transport endpoints, one per
+// rank. Ranks driven over them (RunRank, RunCluster) behave exactly like a
+// RunCtx run, except that statistics are per-rank rather than aggregated.
+func MemCluster(p int) []Transport {
+	hub := newMemHub(p)
+	ts := make([]Transport, p)
+	for r := 0; r < p; r++ {
+		ts[r] = &MemTransport{hub: hub, rank: r}
+	}
+	return ts
+}
+
+// Rank returns this endpoint's rank.
+func (t *MemTransport) Rank() int { return t.rank }
+
+// NProcs returns the number of ranks in the run.
+func (t *MemTransport) NProcs() int { return t.hub.p }
+
+// Exchange ends one superstep: it stages this rank's outgoing messages,
+// blocks until every still-running rank has done the same, and returns the
+// messages addressed to this rank sorted by (From, Seq).
+func (t *MemTransport) Exchange(step int, outgoing []Message) ([]Message, error) {
+	h := t.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.aborted {
+		return nil, h.abortErr
+	}
+	h.staged = append(h.staged, outgoing...)
+	gen := h.gen
+	h.arrived++
+	if h.arrived+h.finished == h.p {
+		h.completeSuperstepLocked()
+	} else {
+		for gen == h.gen && !h.aborted {
+			h.cond.Wait()
+		}
+		// An abort only fails this exchange if the barrier did not
+		// complete; when both raced, the superstep finished for everyone
+		// and the abort is observed at the next Exchange.
+		if gen == h.gen && h.aborted {
+			return nil, h.abortErr
+		}
+	}
+	in := h.nextInbox[t.rank]
+	h.nextInbox[t.rank] = nil
+	SortMessages(in)
+	return in, nil
+}
+
+// completeSuperstepLocked delivers staged messages and wakes all waiting
+// ranks. Caller holds h.mu.
+func (h *memHub) completeSuperstepLocked() {
+	for _, m := range h.staged {
+		h.nextInbox[m.To] = append(h.nextInbox[m.To], m)
+	}
+	h.staged = h.staged[:0]
+	h.arrived = 0
+	h.gen++
+	h.cond.Broadcast()
+}
+
+// Finish marks the rank as done so remaining ranks can still complete
+// supersteps among themselves.
+func (t *MemTransport) Finish(step int) {
+	h := t.hub
+	h.mu.Lock()
+	h.finished++
+	if h.arrived+h.finished == h.p && h.arrived > 0 {
+		h.completeSuperstepLocked()
+	}
+	h.mu.Unlock()
+}
+
+// Abort poisons the barrier: every rank blocked in Exchange unwinds with
+// err, and subsequent Exchange calls fail immediately.
+func (t *MemTransport) Abort(err error) {
+	h := t.hub
+	h.mu.Lock()
+	if !h.aborted {
+		h.aborted = true
+		h.abortErr = err
+	}
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// Close is a no-op: the memory transport holds no external resources.
+func (t *MemTransport) Close() error { return nil }
+
 // Proc is the handle a rank uses to communicate. It is only valid inside
-// the function passed to Run and must not be shared across ranks.
+// the function passed to Run/RunCtx/RunRank and must not be shared across
+// ranks.
 type Proc struct {
 	rank int
-	rt   *runtime
+	np   int
+	t    Transport
 	ctx  context.Context
 
+	stats   *Stats
+	statsMu *sync.Mutex
+
 	pending []Message // messages queued for the next Sync
-	inbox   []Message // messages delivered at the previous Sync
+	inbox   []Message // messages delivered at previous Syncs
 	collSeq int       // per-rank collective sequence number (tags < 0)
+	sendSeq int       // per-rank send sequence number (Message.Seq)
+	step    int       // supersteps this rank has completed
 }
 
 // Rank returns this rank's id in [0, NProcs).
@@ -142,13 +288,18 @@ func (p *Proc) Rank() int { return p.rank }
 // context is cancelled.
 func (p *Proc) Ctx() context.Context { return p.ctx }
 
-// NProcs returns the number of virtual ranks in the run.
-func (p *Proc) NProcs() int { return p.rt.p }
+// NProcs returns the number of ranks in the run.
+func (p *Proc) NProcs() int { return p.np }
 
-// abortError unwinds a rank when another rank failed.
+// Step returns the number of supersteps this rank has completed.
+func (p *Proc) Step() int { return p.step }
+
+// abortError unwinds a rank when another rank failed or the transport
+// poisoned the barrier.
 type abortError struct{ err error }
 
 func (a abortError) Error() string { return fmt.Sprintf("bsp: aborted: %v", a.err) }
+func (a abortError) Unwrap() error { return a.err }
 
 // Send queues a message for delivery to rank `to` after the next Sync. The
 // byte size used for accounting is computed by PayloadBytes; user tags must
@@ -161,11 +312,13 @@ func (p *Proc) Send(to, tag int, payload any) {
 }
 
 func (p *Proc) send(to, tag int, payload any) {
-	if to < 0 || to >= p.rt.p {
-		panic(fmt.Sprintf("bsp: destination rank %d out of range [0,%d)", to, p.rt.p))
+	if to < 0 || to >= p.np {
+		panic(fmt.Sprintf("bsp: destination rank %d out of range [0,%d)", to, p.np))
 	}
+	p.sendSeq++
 	p.pending = append(p.pending, Message{
-		From: p.rank, To: to, Tag: tag, Payload: payload, Bytes: PayloadBytes(payload),
+		From: p.rank, To: to, Tag: tag, Seq: p.sendSeq,
+		Payload: payload, Bytes: PayloadBytes(payload),
 	})
 }
 
@@ -175,111 +328,82 @@ func (p *Proc) AddFlops(n int64) {
 	if n <= 0 {
 		return
 	}
-	p.rt.mu.Lock()
-	p.rt.stats.FlopsPerRank[p.rank] += n
-	p.rt.mu.Unlock()
+	p.statsMu.Lock()
+	p.stats.FlopsPerRank[p.rank] += n
+	p.statsMu.Unlock()
 }
 
 // NoteMemory reports a memory footprint (in 64-bit words); the per-rank
 // maximum is retained. The batch planner uses this to check the M ≥ cn²/p
 // requirement of the replication scheme.
 func (p *Proc) NoteMemory(words int64) {
-	p.rt.mu.Lock()
-	if words > p.rt.stats.MemWordsPerRank[p.rank] {
-		p.rt.stats.MemWordsPerRank[p.rank] = words
+	p.statsMu.Lock()
+	if words > p.stats.MemWordsPerRank[p.rank] {
+		p.stats.MemWordsPerRank[p.rank] = words
 	}
-	p.rt.mu.Unlock()
+	p.statsMu.Unlock()
 }
 
-// Sync ends the current superstep: it blocks until every still-running rank
-// reaches Sync, delivers all messages sent during the superstep, and makes
-// them available through Recv/RecvAll.
+// Sync ends the current superstep: it hands this rank's outgoing messages
+// to the transport, blocks until every still-running rank reaches Sync (the
+// barrier), and makes the delivered messages available through RecvAll. A
+// transport failure — a peer rank died, timed out or aborted — unwinds the
+// rank; the run entry point returns the failure (for remote transports
+// typically a *RankFailedError naming the failed rank).
 func (p *Proc) Sync() {
-	rt := p.rt
-	rt.mu.Lock()
-	if rt.aborted {
-		rt.mu.Unlock()
-		panic(abortError{rt.abortErr})
+	out := p.pending
+	var sent int64
+	for i := range out {
+		sent += int64(out[i].Bytes)
 	}
-	// Stage this rank's outgoing messages.
-	for _, m := range p.pending {
-		rt.staged = append(rt.staged, m)
-		rt.sentThisStep[m.From] += int64(m.Bytes)
-		rt.recvThisStep[m.To] += int64(m.Bytes)
+	nmsgs := int64(len(out))
+	in, err := p.t.Exchange(p.step, out)
+	p.pending = out[:0]
+	if err != nil {
+		panic(abortError{err})
 	}
-	p.pending = p.pending[:0]
-	gen := rt.gen
-	rt.arrived++
-	if rt.arrived+rt.finished == rt.p {
-		rt.completeSuperstepLocked()
-	} else {
-		for gen == rt.gen && !rt.aborted {
-			rt.cond.Wait()
-		}
-		if rt.aborted {
-			rt.mu.Unlock()
-			panic(abortError{rt.abortErr})
-		}
+	step := p.step
+	p.step++
+	var recv int64
+	for i := range in {
+		recv += int64(in[i].Bytes)
 	}
-	inbox := rt.nextInbox[p.rank]
-	rt.nextInbox[p.rank] = nil
-	rt.mu.Unlock()
-	p.inbox = append(p.inbox, inbox...)
+	p.accountStep(step, sent, recv, nmsgs)
+	p.inbox = append(p.inbox, in...)
 }
 
-// completeSuperstepLocked delivers staged messages and wakes all waiting
-// ranks. Caller holds rt.mu.
-func (rt *runtime) completeSuperstepLocked() {
-	var h int64
-	for r := 0; r < rt.p; r++ {
-		if rt.sentThisStep[r] > h {
-			h = rt.sentThisStep[r]
-		}
-		if rt.recvThisStep[r] > h {
-			h = rt.recvThisStep[r]
-		}
-		rt.stats.BytesSentPerRank[r] += rt.sentThisStep[r]
-		rt.stats.BytesRecvPerRank[r] += rt.recvThisStep[r]
-		rt.sentThisStep[r] = 0
-		rt.recvThisStep[r] = 0
+// accountStep folds one completed superstep into the run statistics. The
+// same rank-side accounting runs on every transport; in-process runs share
+// one Stats across ranks (so HRelations is the global max), remote ranks
+// keep a local view.
+func (p *Proc) accountStep(step int, sent, recv, nmsgs int64) {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
+	s := p.stats
+	for len(s.HRelations) <= step {
+		s.HRelations = append(s.HRelations, 0)
 	}
-	rt.stats.HRelations = append(rt.stats.HRelations, h)
-	rt.stats.Supersteps++
-	for _, m := range rt.staged {
-		rt.stats.TotalBytes += int64(m.Bytes)
-		rt.stats.TotalMessages++
-		rt.nextInbox[m.To] = append(rt.nextInbox[m.To], m)
+	h := sent
+	if recv > h {
+		h = recv
 	}
-	rt.staged = rt.staged[:0]
-	rt.arrived = 0
-	rt.gen++
-	rt.cond.Broadcast()
-}
-
-// finish marks a rank as done so remaining ranks can still complete
-// supersteps among themselves.
-func (rt *runtime) finish() {
-	rt.mu.Lock()
-	rt.finished++
-	if rt.arrived+rt.finished == rt.p && rt.arrived > 0 {
-		rt.completeSuperstepLocked()
+	if h > s.HRelations[step] {
+		s.HRelations[step] = h
 	}
-	rt.mu.Unlock()
-}
-
-// abort wakes every rank with an error.
-func (rt *runtime) abort(err error) {
-	rt.mu.Lock()
-	if !rt.aborted {
-		rt.aborted = true
-		rt.abortErr = err
+	if step+1 > s.Supersteps {
+		s.Supersteps = step + 1
 	}
-	rt.cond.Broadcast()
-	rt.mu.Unlock()
+	s.BytesSentPerRank[p.rank] += sent
+	s.BytesRecvPerRank[p.rank] += recv
+	s.TotalBytes += sent
+	s.TotalMessages += nmsgs
 }
 
 // RecvAll removes and returns all delivered messages carrying the given
-// tag, in arbitrary sender order.
+// tag. Message order within a tag is deterministic across transports:
+// messages are delivered sorted by (From, Seq) — sender rank first, then
+// the sender's send order — so protocols that fold over a RecvAll batch
+// produce byte-identical results over the in-process and TCP transports.
 func (p *Proc) RecvAll(tag int) []Message {
 	var out, keep []Message
 	for _, m := range p.inbox {
@@ -305,9 +429,10 @@ func (p *Proc) nextCollectiveTag() int {
 	return -p.collSeq
 }
 
-// Run executes fn on p virtual ranks and returns the aggregated statistics.
-// If any rank returns an error or panics, the run is aborted and the first
-// error is returned alongside the (partial) statistics.
+// Run executes fn on p ranks (goroutines of this process) and returns the
+// aggregated statistics. If any rank returns an error or panics, the run is
+// aborted and the first error is returned alongside the (partial)
+// statistics.
 func Run(p int, fn func(*Proc) error) (*Stats, error) {
 	return RunCtx(context.Background(), p, fn)
 }
@@ -325,29 +450,18 @@ func RunCtx(ctx context.Context, p int, fn func(*Proc) error) (*Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	rt := &runtime{
-		p:            p,
-		nextInbox:    make([][]Message, p),
-		sentThisStep: make([]int64, p),
-		recvThisStep: make([]int64, p),
-	}
-	rt.cond = sync.NewCond(&rt.mu)
-	rt.stats = Stats{
-		Procs:            p,
-		BytesSentPerRank: make([]int64, p),
-		BytesRecvPerRank: make([]int64, p),
-		FlopsPerRank:     make([]int64, p),
-		MemWordsPerRank:  make([]int64, p),
-	}
+	hub := newMemHub(p)
+	stats := newStats(p)
+	var statsMu sync.Mutex
 
-	// The watcher turns context cancellation into a runtime abort, waking
+	// The watcher turns context cancellation into a transport abort, waking
 	// every rank parked at a barrier; it exits as soon as the ranks join.
 	watcherDone := make(chan struct{})
 	if ctx.Done() != nil {
 		go func() {
 			select {
 			case <-ctx.Done():
-				rt.abort(ctx.Err())
+				(&MemTransport{hub: hub}).Abort(ctx.Err())
 			case <-watcherDone:
 			}
 		}()
@@ -359,23 +473,9 @@ func RunCtx(ctx context.Context, p int, fn func(*Proc) error) (*Stats, error) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			proc := &Proc{rank: rank, rt: rt, ctx: ctx}
-			defer rt.finish()
-			defer func() {
-				if rec := recover(); rec != nil {
-					if ab, ok := rec.(abortError); ok {
-						errs[rank] = ab
-						return
-					}
-					err := fmt.Errorf("bsp: rank %d panicked: %v", rank, rec)
-					errs[rank] = err
-					rt.abort(err)
-				}
-			}()
-			if err := fn(proc); err != nil {
-				errs[rank] = err
-				rt.abort(fmt.Errorf("bsp: rank %d failed: %w", rank, err))
-			}
+			tr := &MemTransport{hub: hub, rank: rank}
+			proc := &Proc{rank: rank, np: p, t: tr, ctx: ctx, stats: stats, statsMu: &statsMu}
+			errs[rank] = runOne(tr, proc, fn)
 		}(r)
 	}
 	wg.Wait()
@@ -389,7 +489,7 @@ func RunCtx(ctx context.Context, p int, fn func(*Proc) error) (*Stats, error) {
 		if err != nil {
 			failed = true
 			if _, isAbort := err.(abortError); !isAbort {
-				return &rt.stats, err
+				return stats, err
 			}
 		}
 	}
@@ -398,14 +498,14 @@ func RunCtx(ctx context.Context, p int, fn func(*Proc) error) (*Stats, error) {
 		// the run down, so callers observe ctx.Err(). A cancellation that
 		// landed after every rank already completed did not abort any work
 		// and the finished run is returned as a success.
-		return &rt.stats, err
+		return stats, err
 	}
 	for _, err := range errs {
 		if err != nil {
-			return &rt.stats, err
+			return stats, err
 		}
 	}
-	return &rt.stats, nil
+	return stats, nil
 }
 
 // PayloadBytes estimates the wire size of a payload for accounting. Common

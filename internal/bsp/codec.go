@@ -1,0 +1,250 @@
+package bsp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Codec converts message payloads to and from bytes at a remote transport's
+// boundary. The Proc API keeps `Payload any` — ranks exchange typed values
+// exactly as they do in process — and a remote transport runs every payload
+// through its Codec when it crosses the wire.
+//
+// Encodings must be self-describing and deterministic: Decode(Encode(v))
+// returns a value that compares equal to v, and equal values always encode
+// to identical bytes (no map iteration, no reflection-driven field order).
+// That determinism is what makes TCP runs byte-identical to in-process
+// runs.
+type Codec interface {
+	Encode(v any) ([]byte, error)
+	Decode(data []byte) (any, error)
+}
+
+// Kind bytes of PlainCodec's encoding. The first encoded byte identifies
+// the payload type; kinds >= 0x40 are reserved for application codecs
+// (internal/dist wraps PlainCodec and adds its SUMMA wire types there).
+const (
+	plainKindNil = iota
+	plainKindBytes
+	plainKindString
+	plainKindBool
+	plainKindInt
+	plainKindInt64
+	plainKindUint64
+	plainKindFloat64
+	plainKindIntSlice
+	plainKindInt64Slice
+	plainKindUint64Slice
+	plainKindFloat64Slice
+	plainKindInt32Slice
+	plainKindUint32Slice
+	plainKindBoolSlice
+)
+
+// PlainCodecKindLimit is the first kind byte available to codecs layered on
+// top of PlainCodec.
+const PlainCodecKindLimit = 0x40
+
+// PlainCodec encodes the primitive payload types the collectives and tests
+// use: nil, []byte, string, bool, int, int64, uint64, float64, and slices
+// of int, int64, uint64, float64, int32, uint32, and bool. All integers are
+// little-endian; int values travel as 64-bit. Payload types outside this
+// set are an Encode error — application packages layer their own types on
+// top (see internal/dist).
+type PlainCodec struct{}
+
+// Encode serializes v with a leading kind byte.
+func (PlainCodec) Encode(v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return []byte{plainKindNil}, nil
+	case []byte:
+		out := make([]byte, 1+len(x))
+		out[0] = plainKindBytes
+		copy(out[1:], x)
+		return out, nil
+	case string:
+		out := make([]byte, 1+len(x))
+		out[0] = plainKindString
+		copy(out[1:], x)
+		return out, nil
+	case bool:
+		b := byte(0)
+		if x {
+			b = 1
+		}
+		return []byte{plainKindBool, b}, nil
+	case int:
+		return appendU64(plainKindInt, uint64(x)), nil
+	case int64:
+		return appendU64(plainKindInt64, uint64(x)), nil
+	case uint64:
+		return appendU64(plainKindUint64, x), nil
+	case float64:
+		return appendU64(plainKindFloat64, math.Float64bits(x)), nil
+	case []int:
+		out := make([]byte, 1, 1+8*len(x))
+		out[0] = plainKindIntSlice
+		for _, e := range x {
+			out = binary.LittleEndian.AppendUint64(out, uint64(e))
+		}
+		return out, nil
+	case []int64:
+		out := make([]byte, 1, 1+8*len(x))
+		out[0] = plainKindInt64Slice
+		for _, e := range x {
+			out = binary.LittleEndian.AppendUint64(out, uint64(e))
+		}
+		return out, nil
+	case []uint64:
+		out := make([]byte, 1, 1+8*len(x))
+		out[0] = plainKindUint64Slice
+		for _, e := range x {
+			out = binary.LittleEndian.AppendUint64(out, e)
+		}
+		return out, nil
+	case []float64:
+		out := make([]byte, 1, 1+8*len(x))
+		out[0] = plainKindFloat64Slice
+		for _, e := range x {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(e))
+		}
+		return out, nil
+	case []int32:
+		out := make([]byte, 1, 1+4*len(x))
+		out[0] = plainKindInt32Slice
+		for _, e := range x {
+			out = binary.LittleEndian.AppendUint32(out, uint32(e))
+		}
+		return out, nil
+	case []uint32:
+		out := make([]byte, 1, 1+4*len(x))
+		out[0] = plainKindUint32Slice
+		for _, e := range x {
+			out = binary.LittleEndian.AppendUint32(out, e)
+		}
+		return out, nil
+	case []bool:
+		out := make([]byte, 1+len(x))
+		out[0] = plainKindBoolSlice
+		for i, e := range x {
+			if e {
+				out[1+i] = 1
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("bsp: PlainCodec cannot encode payload of type %T", v)
+	}
+}
+
+// Decode reverses Encode.
+func (PlainCodec) Decode(data []byte) (any, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("bsp: PlainCodec: empty payload")
+	}
+	kind, body := data[0], data[1:]
+	switch kind {
+	case plainKindNil:
+		return nil, nil
+	case plainKindBytes:
+		out := make([]byte, len(body))
+		copy(out, body)
+		return out, nil
+	case plainKindString:
+		return string(body), nil
+	case plainKindBool:
+		if len(body) != 1 {
+			return nil, fmt.Errorf("bsp: PlainCodec: bad bool payload length %d", len(body))
+		}
+		return body[0] != 0, nil
+	case plainKindInt:
+		u, err := fixedU64(body)
+		return int(u), err
+	case plainKindInt64:
+		u, err := fixedU64(body)
+		return int64(u), err
+	case plainKindUint64:
+		return fixedU64(body)
+	case plainKindFloat64:
+		u, err := fixedU64(body)
+		return math.Float64frombits(u), err
+	case plainKindIntSlice:
+		if len(body)%8 != 0 {
+			return nil, fmt.Errorf("bsp: PlainCodec: []int payload length %d not a multiple of 8", len(body))
+		}
+		out := make([]int, len(body)/8)
+		for i := range out {
+			out[i] = int(binary.LittleEndian.Uint64(body[8*i:]))
+		}
+		return out, nil
+	case plainKindInt64Slice:
+		if len(body)%8 != 0 {
+			return nil, fmt.Errorf("bsp: PlainCodec: []int64 payload length %d not a multiple of 8", len(body))
+		}
+		out := make([]int64, len(body)/8)
+		for i := range out {
+			out[i] = int64(binary.LittleEndian.Uint64(body[8*i:]))
+		}
+		return out, nil
+	case plainKindUint64Slice:
+		if len(body)%8 != 0 {
+			return nil, fmt.Errorf("bsp: PlainCodec: []uint64 payload length %d not a multiple of 8", len(body))
+		}
+		out := make([]uint64, len(body)/8)
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint64(body[8*i:])
+		}
+		return out, nil
+	case plainKindFloat64Slice:
+		if len(body)%8 != 0 {
+			return nil, fmt.Errorf("bsp: PlainCodec: []float64 payload length %d not a multiple of 8", len(body))
+		}
+		out := make([]float64, len(body)/8)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+		}
+		return out, nil
+	case plainKindInt32Slice:
+		if len(body)%4 != 0 {
+			return nil, fmt.Errorf("bsp: PlainCodec: []int32 payload length %d not a multiple of 4", len(body))
+		}
+		out := make([]int32, len(body)/4)
+		for i := range out {
+			out[i] = int32(binary.LittleEndian.Uint32(body[4*i:]))
+		}
+		return out, nil
+	case plainKindUint32Slice:
+		if len(body)%4 != 0 {
+			return nil, fmt.Errorf("bsp: PlainCodec: []uint32 payload length %d not a multiple of 4", len(body))
+		}
+		out := make([]uint32, len(body)/4)
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint32(body[4*i:])
+		}
+		return out, nil
+	case plainKindBoolSlice:
+		out := make([]bool, len(body))
+		for i, b := range body {
+			out[i] = b != 0
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("bsp: PlainCodec: unknown payload kind 0x%02x", kind)
+	}
+}
+
+func appendU64(kind byte, u uint64) []byte {
+	out := make([]byte, 9)
+	out[0] = kind
+	binary.LittleEndian.PutUint64(out[1:], u)
+	return out
+}
+
+func fixedU64(body []byte) (uint64, error) {
+	if len(body) != 8 {
+		return 0, fmt.Errorf("bsp: PlainCodec: bad scalar payload length %d", len(body))
+	}
+	return binary.LittleEndian.Uint64(body), nil
+}

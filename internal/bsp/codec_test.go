@@ -1,0 +1,58 @@
+package bsp
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPlainCodecRoundTrips(t *testing.T) {
+	c := PlainCodec{}
+	cases := []any{
+		nil,
+		[]byte{1, 2, 3},
+		"superstep",
+		true,
+		false,
+		42,
+		-7,
+		int64(-1 << 40),
+		uint64(1) << 63,
+		3.25,
+		[]int{1, -2, 3},
+		[]int64{-9, 9},
+		[]uint64{0, ^uint64(0)},
+		[]float64{0.5, -0.25},
+		[]int32{-1, 2},
+		[]uint32{7, 8},
+		[]bool{true, false, true},
+	}
+	for _, v := range cases {
+		data, err := c.Encode(v)
+		if err != nil {
+			t.Fatalf("encode %T %v: %v", v, v, err)
+		}
+		got, err := c.Decode(data)
+		if err != nil {
+			t.Fatalf("decode %T %v: %v", v, v, err)
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("round-trip %T: got %#v, want %#v", v, got, v)
+		}
+	}
+}
+
+func TestPlainCodecRejectsUnknownTypes(t *testing.T) {
+	c := PlainCodec{}
+	if _, err := c.Encode(struct{ X int }{1}); err == nil {
+		t.Fatal("struct encoded without error")
+	}
+	if _, err := c.Decode(nil); err == nil {
+		t.Fatal("empty payload decoded without error")
+	}
+	if _, err := c.Decode([]byte{0xff}); err == nil {
+		t.Fatal("unknown kind decoded without error")
+	}
+	if _, err := c.Decode([]byte{plainKindInt, 1, 2}); err == nil {
+		t.Fatal("truncated scalar decoded without error")
+	}
+}

@@ -1,0 +1,34 @@
+package faultinject_test
+
+import (
+	"context"
+	"fmt"
+
+	"genomeatscale/internal/bsp"
+	"genomeatscale/internal/bsp/faultinject"
+)
+
+// ExampleWrap drops the broadcast message from rank 0 to rank 2 at
+// superstep 0: rank 2 observes a protocol violation (a Bcast with no
+// message) and fails, while the other ranks complete — the same
+// degraded-network behaviour the TCP transport's failure semantics are
+// tested against.
+func ExampleWrap() {
+	transports := bsp.MemCluster(3)
+	// Rank 0's outgoing messages to rank 2 vanish at superstep 0.
+	transports[0] = faultinject.Wrap(transports[0],
+		faultinject.Rule{Mode: faultinject.Drop, Step: 0, Peer: 2})
+
+	_, errs := bsp.RunCluster(context.Background(), transports, func(p *bsp.Proc) error {
+		v := bsp.Bcast(p, 0, p.Rank()*10)
+		_ = v
+		return nil
+	})
+	for rank, err := range errs {
+		fmt.Printf("rank %d error: %v\n", rank, err)
+	}
+	// Output:
+	// rank 0 error: <nil>
+	// rank 1 error: <nil>
+	// rank 2 error: bsp: rank 2 panicked: bsp: Bcast expected 1 message, got 0
+}

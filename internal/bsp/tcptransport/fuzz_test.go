@@ -1,0 +1,77 @@
+package tcptransport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadFrame hardens the length-prefixed frame reader against hostile
+// input: truncated frames, zero-length frames, and oversized length headers
+// must all fail cleanly — bounded allocation, no panic — and whatever
+// parses must round-trip.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(appendFrame(nil, frameHello, appendU32Body(nil, 3)))
+	f.Add(appendFrame(nil, frameMsg, appendMsgBody(nil, 1, 2, -7, 4, []byte("payload"))))
+	f.Add(appendFrame(nil, frameDone, appendU32Body(nil, 0, 5, 12)))
+	f.Add(appendFrame(nil, frameFin, appendU32Body(nil, 2, 9)))
+	f.Add(appendFrame(nil, frameAbort, append(appendU32Body(nil, 1, 3, 2), "boom"...)))
+	f.Add([]byte{0, 0, 0, 0})                         // zero-length frame
+	f.Add([]byte{255, 255, 255, 255, 1})              // 4 GiB header bomb
+	f.Add(binary.LittleEndian.AppendUint32(nil, 100)) // truncated body
+	f.Add([]byte{5, 0, 0})                            // truncated header
+
+	const maxFrame = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		typ, body, err := readFrame(r, maxFrame)
+		if err != nil {
+			return
+		}
+		if len(body)+1 > maxFrame {
+			t.Fatalf("frame body %d bytes escaped the %d cap", len(body)+1, maxFrame)
+		}
+		// A parsed frame must re-encode to the bytes consumed.
+		consumed := len(data) - r.Len()
+		if got := appendFrame(nil, typ, body); !bytes.Equal(got, data[:consumed]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", got, data[:consumed])
+		}
+		// Type-specific parsers must not panic on arbitrary bodies.
+		switch typ {
+		case frameMsg:
+			if m, err := parseMsg(body); err == nil {
+				re := appendMsgBody(nil, m.From, m.Step, m.Tag, m.Seq, m.Payload)
+				if !bytes.Equal(re, body) {
+					t.Fatalf("MSG round-trip mismatch")
+				}
+			}
+		case frameHello:
+			parseU32s(body, 1)
+		case frameDone, frameAbort:
+			parseU32s(body, 3)
+		case frameFin:
+			parseU32s(body, 2)
+		}
+	})
+}
+
+// TestReadFrameRejectsOversized pins the header-bomb guard: a length
+// header past MaxFrame errors before allocating.
+func TestReadFrameRejectsOversized(t *testing.T) {
+	data := binary.LittleEndian.AppendUint32(nil, 1<<30)
+	data = append(data, 1)
+	if _, _, err := readFrame(bytes.NewReader(data), 1<<20); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// TestReadFrameRejectsTruncated: a frame cut mid-body is an error, not a
+// short read.
+func TestReadFrameRejectsTruncated(t *testing.T) {
+	full := appendFrame(nil, frameMsg, appendMsgBody(nil, 0, 1, 2, 3, []byte("abcdef")))
+	for cut := 1; cut < len(full); cut++ {
+		if _, _, err := readFrame(bytes.NewReader(full[:cut]), 1<<20); err == nil {
+			t.Fatalf("truncated frame (cut at %d) accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package bsp
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRecvAllDeterministicOrder pins the RecvAll ordering contract:
+// messages within a tag arrive sorted by (From, Seq) — sender rank first,
+// then the sender's send order — regardless of the order ranks happened to
+// stage them in.
+func TestRecvAllDeterministicOrder(t *testing.T) {
+	const p = 4
+	const tag = 7
+	for trial := 0; trial < 20; trial++ {
+		_, err := Run(p, func(proc *Proc) error {
+			if proc.Rank() != 0 {
+				// Each sender emits three messages to rank 0; their Seq
+				// order must be preserved at delivery.
+				for i := 0; i < 3; i++ {
+					proc.Send(0, tag, []int{proc.Rank(), i})
+				}
+			}
+			proc.Sync()
+			if proc.Rank() == 0 {
+				msgs := proc.RecvAll(tag)
+				if len(msgs) != 3*(p-1) {
+					t.Errorf("trial %d: got %d messages, want %d", trial, len(msgs), 3*(p-1))
+				}
+				for i, m := range msgs {
+					wantFrom := 1 + i/3
+					wantIdx := i % 3
+					got := m.Payload.([]int)
+					if m.From != wantFrom || got[0] != wantFrom || got[1] != wantIdx {
+						t.Errorf("trial %d: message %d = from %d payload %v, want from %d idx %d",
+							trial, i, m.From, got, wantFrom, wantIdx)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRunClusterMatchesRun checks that driving MemCluster endpoints through
+// RunCluster behaves like a plain Run: same delivery, per-rank stats.
+func TestRunClusterMatchesRun(t *testing.T) {
+	const p = 3
+	fn := func(proc *Proc) error {
+		next := (proc.Rank() + 1) % proc.NProcs()
+		proc.Send(next, 1, []uint64{uint64(proc.Rank())})
+		proc.Sync()
+		msgs := proc.RecvAll(1)
+		if len(msgs) != 1 {
+			return errors.New("expected exactly one message")
+		}
+		want := (proc.Rank() + proc.NProcs() - 1) % proc.NProcs()
+		if got := msgs[0].Payload.([]uint64)[0]; got != uint64(want) {
+			return errors.New("wrong neighbour payload")
+		}
+		return nil
+	}
+	stats, errs := RunCluster(context.Background(), MemCluster(p), fn)
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r, s := range stats {
+		if s.Supersteps != 1 {
+			t.Errorf("rank %d: Supersteps = %d, want 1", r, s.Supersteps)
+		}
+		if s.BytesSentPerRank[r] != 8 {
+			t.Errorf("rank %d: sent %d bytes, want 8", r, s.BytesSentPerRank[r])
+		}
+	}
+}
+
+// TestRunClusterRankErrorPoisonsPeers: a rank function returning an error
+// must unwind every other rank via the abort path, and the failing rank
+// must report its own error.
+func TestRunClusterRankErrorPoisonsPeers(t *testing.T) {
+	sentinel := errors.New("rank 1 exploded")
+	_, errs := RunCluster(context.Background(), MemCluster(3), func(proc *Proc) error {
+		if proc.Rank() == 1 {
+			return sentinel
+		}
+		proc.Sync() // never completes: rank 1 aborted
+		proc.Sync()
+		return nil
+	})
+	if !errors.Is(errs[1], sentinel) {
+		t.Fatalf("rank 1 error = %v, want sentinel", errs[1])
+	}
+	for _, r := range []int{0, 2} {
+		if errs[r] == nil || !errors.Is(errs[r], sentinel) {
+			t.Errorf("rank %d error = %v, want wrapped sentinel", r, errs[r])
+		}
+	}
+}
+
+// TestRunRankCancel: cancelling the context of a RunRank unwinds the rank
+// from its barrier and returns ctx.Err().
+func TestRunRankCancel(t *testing.T) {
+	ts := MemCluster(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunRank(ctx, ts[0], func(proc *Proc) error {
+			proc.Sync() // blocks: rank 1 never arrives
+			return nil
+		})
+		done <- err
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -76,10 +76,14 @@ func resolveConfig(opts Options) runConfig {
 	// All Procs virtual ranks share this machine, so the default Workers: 0
 	// resolves to a fair share of the CPUs per rank rather than a full
 	// GOMAXPROCS pool per rank (which would oversubscribe the machine
-	// Procs-fold). An explicit Workers value is taken as given.
+	// Procs-fold). Over a multi-process Transport this process runs a
+	// single rank, so that rank gets the whole machine. An explicit
+	// Workers value is taken as given.
 	cfg.distWorkers = opts.Workers
 	if cfg.distWorkers == 0 {
-		if cfg.distWorkers = runtime.GOMAXPROCS(0) / opts.Procs; cfg.distWorkers < 1 {
+		if opts.Transport != nil {
+			cfg.distWorkers = runtime.GOMAXPROCS(0)
+		} else if cfg.distWorkers = runtime.GOMAXPROCS(0) / opts.Procs; cfg.distWorkers < 1 {
 			cfg.distWorkers = 1
 		}
 	}
@@ -137,7 +141,7 @@ func (e *Engine) Similarity(ctx context.Context, ds Dataset) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.opts.Procs > 1 {
+	if cfg.opts.Procs > 1 || cfg.opts.Transport != nil {
 		return e.computeDist(ctx, ds, nil, cfg)
 	}
 	return e.computeSeq(ctx, ds, nil, cfg)
@@ -159,7 +163,7 @@ func (e *Engine) Stream(ctx context.Context, ds Dataset, sink TileSink) (*Result
 	if err != nil {
 		return nil, err
 	}
-	if cfg.opts.Procs > 1 {
+	if cfg.opts.Procs > 1 || cfg.opts.Transport != nil {
 		return e.computeDist(ctx, ds, sink, cfg)
 	}
 	return e.computeSeq(ctx, ds, sink, cfg)
@@ -468,7 +472,7 @@ func (e *Engine) computeDist(ctx context.Context, ds Dataset, sink TileSink, cfg
 		emitSink = collect
 	}
 
-	commStats, err := bsp.RunCtx(ctx, opts.Procs, func(p *bsp.Proc) error {
+	rankFn := func(p *bsp.Proc) error {
 		dctx := dist.NewContextWithGrid(p, cfg.grid)
 		engine := dist.NewGramEngine(dctx, n, workers, opts.DenseThreshold)
 
@@ -555,10 +559,20 @@ func (e *Engine) computeDist(ctx context.Context, ds Dataset, sink TileSink, cfg
 			}
 		}
 		return nil
-	})
+	}
+	// With a Transport this process is ONE rank of a multi-process run;
+	// otherwise all Procs ranks are goroutines of this process.
+	var commStats *bsp.Stats
+	var err error
+	if t := opts.Transport; t != nil {
+		commStats, err = bsp.RunRank(ctx, t, rankFn)
+	} else {
+		commStats, err = bsp.RunCtx(ctx, opts.Procs, rankFn)
+	}
 	if err != nil {
 		return nil, err
 	}
+	res.Stats.Transport = commStats.Transport
 	if collect != nil {
 		res.B, res.S, res.D = collect.B(), collect.S(), collect.D()
 	}

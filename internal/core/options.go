@@ -80,6 +80,19 @@ type Options struct {
 	// run. Prescreening runs on the sequential path only (Procs must be 1).
 	Sketch SketchOptions
 
+	// Transport, when non-nil, runs the distributed path as ONE rank of a
+	// multi-process BSP job over the given transport endpoint (e.g.
+	// internal/bsp/tcptransport) instead of spawning Procs in-process
+	// ranks: this process executes rank Transport.Rank() of
+	// Transport.NProcs() == Procs, and every process of the job must be
+	// started with identical options so the ranks agree on the grid and
+	// batch protocol. Result matrices are assembled at rank 0 only; other
+	// ranks return empty B/S/D. Autotune and Sketch are incompatible with
+	// Transport (their run-time decisions would diverge across hosts).
+	// Transport endpoints are single-run: build a new one per run. The
+	// engine does not close the transport; the caller owns its lifecycle.
+	Transport bsp.Transport
+
 	// Autotune derives the run configuration — Procs, Replication,
 	// BatchCount, TileRows, DenseThreshold — from the dataset's dimensions
 	// and a sampled density estimate at run time, by minimising the BSP cost
@@ -198,6 +211,17 @@ func (o Options) Validate() error {
 			return fmt.Errorf("core: sketch prescreening runs on the sequential path only; Procs must be 1, got %d", o.Procs)
 		}
 	}
+	if o.Transport != nil {
+		if np := o.Transport.NProcs(); np != o.Procs {
+			return fmt.Errorf("core: Transport spans %d ranks but Procs is %d; they must match", np, o.Procs)
+		}
+		if o.Autotune {
+			return fmt.Errorf("core: Autotune is incompatible with a multi-process Transport (each host would tune a different configuration); pin the options explicitly")
+		}
+		if o.Sketch.Enabled() {
+			return fmt.Errorf("core: sketch prescreening is incompatible with a multi-process Transport")
+		}
+	}
 	return nil
 }
 
@@ -216,8 +240,14 @@ type RunStats struct {
 	// after filtering (|f(l)| in Eq. 5).
 	ActiveRowsPerBatch []int64
 	// Comm holds the BSP communication statistics of the distributed path
-	// (nil for the sequential path).
+	// (nil for the sequential path). Over a multi-process Transport the
+	// statistics are this rank's local view.
 	Comm *bsp.Stats
+
+	// Transport holds the wire-level counters (dials, retries, bytes on
+	// the wire, max superstep exchange latency) of a run over a remote
+	// transport; nil for sequential and in-process runs.
+	Transport *bsp.TransportStats
 
 	// TilesEmitted counts the finalized tiles delivered to the run's sink:
 	// streaming runs on both paths, and distributed legacy gathers (which

@@ -1,0 +1,55 @@
+package genomeatscale
+
+import (
+	"time"
+
+	"genomeatscale/internal/bsp"
+	"genomeatscale/internal/bsp/tcptransport"
+	"genomeatscale/internal/core"
+	"genomeatscale/internal/dist"
+)
+
+// Transport is one endpoint of a multi-process BSP job: it carries this
+// rank's superstep message exchanges and barrier participation. The
+// in-process runtime used by WithProcs alone needs none; NewTCPTransport
+// builds the TCP backend for running ranks as separate processes.
+type Transport = bsp.Transport
+
+// RankFailedError is the error every surviving rank of a distributed run
+// unwinds with when a peer rank times out, disconnects or fails: it names
+// the failed rank, the superstep it failed at, and the underlying cause.
+// Match it with errors.As.
+type RankFailedError = bsp.RankFailedError
+
+// TransportStats holds the wire-level counters of a run over a remote
+// transport (dials, retries, bytes on the wire, max superstep exchange
+// latency); found on Result.Stats.Transport.
+type TransportStats = bsp.TransportStats
+
+// WithTransport runs the engine as ONE rank of a multi-process BSP job
+// over the given endpoint: this process executes rank t.Rank() of
+// t.NProcs() ranks, and every process of the job must be configured
+// identically. The rank count is taken from the transport (overriding
+// WithProcs). Result matrices are assembled at rank 0 only; transports are
+// single-run and the caller owns their lifecycle (call t.Close when done).
+func WithTransport(t Transport) Option {
+	return func(o *Options) {
+		o.Transport = t
+		if t != nil {
+			o.Procs = t.NProcs()
+			o.SetExplicit(core.FieldProcs)
+		}
+	}
+}
+
+// NewTCPTransport builds one rank's endpoint of a TCP BSP job: peers
+// lists every rank's host:port listen address in rank order, and the
+// returned transport listens on peers[rank] and lazily dials the others.
+// It speaks the engine's wire codec, so it plugs straight into
+// WithTransport. stepTimeout bounds each superstep exchange (0 = 30s); a
+// rank silent past it is declared failed and every survivor returns a
+// RankFailedError naming it. Close the transport after the run.
+func NewTCPTransport(rank int, peers []string, stepTimeout time.Duration) (Transport, error) {
+	return tcptransport.New(rank, peers, dist.NewWireCodec(),
+		tcptransport.Options{StepTimeout: stepTimeout})
+}
