@@ -1,0 +1,26 @@
+# Multi-stage build for cmd/similarityd, the long-running similarity query
+# service. The final image is a static binary on scratch: the server has no
+# runtime dependencies (stdlib-only HTTP, mmap via raw syscalls), so the
+# image is just the binary plus CA-free TLS-free plumbing it doesn't need.
+#
+#   docker build -t similarityd .
+#   docker run -v $PWD:/data -p 8044:8044 similarityd \
+#       -index /data/corpus.idx -addr :8044
+#
+# The container answers SIGTERM with a graceful drain (see README "Query
+# service"), so `docker stop` finishes in-flight queries before exiting.
+
+FROM golang:1.24 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+# CGO off for a fully static binary; trim paths for reproducible builds.
+RUN CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/similarityd ./cmd/similarityd
+
+FROM scratch
+COPY --from=build /out/similarityd /similarityd
+# The index is provided by a volume; /data is the conventional mount point.
+VOLUME ["/data"]
+EXPOSE 8044
+ENTRYPOINT ["/similarityd"]
+CMD ["-index", "/data/corpus.idx", "-addr", ":8044"]

@@ -24,6 +24,7 @@ fuzz:
 	go test -run=^$$ -fuzz=FuzzFromEntries -fuzztime=10s ./internal/bitmat
 	go test -run=^$$ -fuzz=FuzzPopcountAndSlice -fuzztime=10s ./internal/bitutil
 	go test -run=^$$ -fuzz=FuzzReadFrame -fuzztime=10s ./internal/bsp/tcptransport
+	go test -run=^$$ -fuzz=FuzzReadIndex -fuzztime=10s ./internal/index/indexfile
 
 # bench writes kernel-level benchmark results (density sweep × storage
 # policy × workers, asm-vs-portable dispatch, arena allocations,

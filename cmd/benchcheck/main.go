@@ -53,6 +53,10 @@ type artifact struct {
 		ScreenedFraction float64 `json:"screened_fraction"`
 		Speedup          float64 `json:"speedup"`
 	} `json:"prescreen"`
+	Query *struct {
+		SketchGateSpeedup  float64 `json:"sketch_gate_speedup"`
+		SketchSkipFraction float64 `json:"sketch_skip_fraction"`
+	} `json:"query"`
 }
 
 // metric is one tracked dimensionless ratio. LowerBetter flips the
@@ -95,6 +99,13 @@ func metrics(a artifact) map[string]metric {
 		out["prescreen-recall"] = metric{Value: a.Prescreen.Recall}
 		out["prescreen-screened-fraction"] = metric{Value: a.Prescreen.ScreenedFraction}
 		out["prescreen-speedup"] = metric{Value: a.Prescreen.Speedup}
+	}
+	if a.Query != nil && a.Query.SketchGateSpeedup > 0 {
+		// The skip fraction is a ratio of sample counts (machine-stable);
+		// the gate speedup is the serial exact-vs-gated latency ratio. The
+		// raw query latencies and open times stay untracked.
+		out["query-sketch-gate-speedup"] = metric{Value: a.Query.SketchGateSpeedup}
+		out["query-sketch-skip-fraction"] = metric{Value: a.Query.SketchSkipFraction}
 	}
 	return out
 }

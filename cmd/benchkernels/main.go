@@ -26,6 +26,8 @@ import (
 	"genomeatscale/internal/bitmat"
 	"genomeatscale/internal/bitutil"
 	"genomeatscale/internal/cliutil"
+	"genomeatscale/internal/core"
+	"genomeatscale/internal/index"
 	"genomeatscale/internal/sparse"
 	"genomeatscale/internal/synth"
 )
@@ -162,6 +164,37 @@ type prescreenResult struct {
 	Speedup          float64 `json:"speedup"`
 }
 
+// queryResult measures the persistent-index query path (internal/index,
+// served by cmd/similarityd): single-sample top-k query latency against a
+// resident corpus, the open-without-load advantage of the mmap reader over
+// the copying loader, and the exact-vs-sketch-gated thresholded query
+// ratio. Raw latencies are recorded for the trajectory; only the
+// dimensionless sketch-gate speedup is regression-gated.
+type queryResult struct {
+	// Samples is the corpus size; ValuesPerSample its per-sample set size.
+	Samples         int `json:"samples"`
+	ValuesPerSample int `json:"values_per_sample"`
+	// TopK is the query's k; QueryNsPerOp the serial per-query latency and
+	// QueriesPerSecond its reciprocal throughput.
+	TopK             int     `json:"top_k"`
+	QueryNsPerOp     float64 `json:"query_ns_per_op"`
+	QueriesPerSecond float64 `json:"queries_per_second"`
+	// OpenMmapSeconds / OpenLoadSeconds are best-of-runs times to open the
+	// persisted index memory-mapped (metadata only) versus fully loaded;
+	// OpenSpeedup is their ratio (>1 means mmap-open is cheaper).
+	OpenMmapSeconds float64 `json:"open_mmap_seconds"`
+	OpenLoadSeconds float64 `json:"open_load_seconds"`
+	OpenSpeedup     float64 `json:"open_speedup"`
+	// ExactNsPerOp / GatedNsPerOp are thresholded-query latencies without
+	// and with the MinHash gate; SketchGateSpeedup is their ratio and
+	// SketchSkipFraction the share of corpus samples the gate skipped.
+	Threshold          float64 `json:"threshold"`
+	ExactNsPerOp       float64 `json:"exact_ns_per_op"`
+	GatedNsPerOp       float64 `json:"gated_ns_per_op"`
+	SketchGateSpeedup  float64 `json:"sketch_gate_speedup"`
+	SketchSkipFraction float64 `json:"sketch_skip_fraction"`
+}
+
 // artifact is the BENCH_kernels.json schema.
 type artifact struct {
 	Rows      int              `json:"rows"`
@@ -173,6 +206,7 @@ type artifact struct {
 	Autotune  *autotuneResult  `json:"autotune,omitempty"`
 	Streaming *streamingResult `json:"streaming,omitempty"`
 	Prescreen *prescreenResult `json:"prescreen,omitempty"`
+	Query     *queryResult     `json:"query,omitempty"`
 }
 
 func main() {
@@ -263,6 +297,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	art.Prescreen = pre
+
+	qr, err := measureQuery(out, *minTime, *quick)
+	if err != nil {
+		return err
+	}
+	art.Query = qr
 
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
@@ -643,6 +683,154 @@ func measurePrescreen(out io.Writer, quick bool) (*prescreenResult, error) {
 	}
 	fmt.Fprintf(out, "prescreen (n=%d, τ=%g, k=%d): recall %.4f, %.1f%% of pairs screened out, exact %.4fs vs prescreened %.4fs (%.2fx)\n",
 		n, tau, res.SketchSize, res.Recall, 100*res.ScreenedFraction, exactSecs, preSecs, res.Speedup)
+	return res, nil
+}
+
+// measureQuery benchmarks the persistent-index query service path on a
+// clustered corpus (the sketch gate's target shape: most samples far below
+// the threshold). It persists the index once, times mmap-open versus full
+// load, the serial top-k query, and the thresholded query with and
+// without the MinHash gate. Serial (Workers=1) throughout so the ratios
+// reflect kernel work, not runner load.
+func measureQuery(out io.Writer, minTime time.Duration, quick bool) (*queryResult, error) {
+	clusters, perCluster, isolated, baseSize := 12, 4, 464, 3000
+	if quick {
+		clusters, perCluster, isolated, baseSize = 8, 4, 224, 2000
+	}
+	const tau = 0.7
+	const sketchK = 64
+	const topK = 10
+	const universe = uint64(1) << 40
+	rng := synth.NewRNG(31)
+	extra := baseSize / 11
+	n := clusters*perCluster + isolated
+	names := make([]string, 0, n)
+	samples := make([][]uint64, 0, n)
+	var queries [][]uint64
+	for c := 0; c < clusters; c++ {
+		base := make([]uint64, baseSize)
+		for i := range base {
+			base[i] = rng.Uint64n(universe)
+		}
+		for s := 0; s < perCluster; s++ {
+			sample := append([]uint64(nil), base...)
+			for k := 0; k < extra; k++ {
+				sample = append(sample, rng.Uint64n(universe))
+			}
+			names = append(names, fmt.Sprintf("c%02d-s%d", c, s))
+			samples = append(samples, sample)
+		}
+		// One fresh near-duplicate per cluster as a query workload.
+		q := append([]uint64(nil), base...)
+		for k := 0; k < extra; k++ {
+			q = append(q, rng.Uint64n(universe))
+		}
+		queries = append(queries, q)
+	}
+	for s := 0; s < isolated; s++ {
+		sample := make([]uint64, baseSize+extra)
+		for i := range sample {
+			sample[i] = rng.Uint64n(universe)
+		}
+		names = append(names, fmt.Sprintf("bg-%03d", s))
+		samples = append(samples, sample)
+	}
+	ds, err := core.NewInMemoryDataset(names, samples, universe)
+	if err != nil {
+		return nil, err
+	}
+	built, err := index.Build(ds, index.Options{SketchK: sketchK})
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "benchquery")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := dir + "/corpus.idx"
+	if err := built.WriteFile(path); err != nil {
+		return nil, err
+	}
+
+	// Open times: best of several runs on both sides. mmap-open validates
+	// metadata only; load copies every array to the heap.
+	openBest := func(open func(string) (*index.Corpus, error)) (float64, error) {
+		best := 0.0
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			c, err := open(path)
+			if err != nil {
+				return 0, err
+			}
+			elapsed := time.Since(start).Seconds()
+			c.Close()
+			if i == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		return best, nil
+	}
+	mmapSecs, err := openBest(index.Open)
+	if err != nil {
+		return nil, err
+	}
+	loadSecs, err := openBest(index.Load)
+	if err != nil {
+		return nil, err
+	}
+
+	corpus, err := index.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer corpus.Close()
+	ctx := context.Background()
+	qi := 0
+	nextQuery := func() []uint64 {
+		q := queries[qi%len(queries)]
+		qi++
+		return q
+	}
+	runQuery := func(opts index.QueryOptions) func() {
+		return func() {
+			if _, err := corpus.Query(ctx, nextQuery(), opts); err != nil {
+				panic(err)
+			}
+		}
+	}
+	serial := index.QueryOptions{TopK: topK, Workers: 1}
+	queryNs := measure(minTime, runQuery(serial))
+	exactNs := measure(minTime, runQuery(index.QueryOptions{Threshold: tau, Workers: 1, NoSketch: true}))
+	before := corpus.Counters()
+	gatedNs := measure(minTime, runQuery(index.QueryOptions{Threshold: tau, Workers: 1}))
+	after := corpus.Counters()
+
+	res := &queryResult{
+		Samples:         n,
+		ValuesPerSample: baseSize + extra,
+		TopK:            topK,
+		QueryNsPerOp:    queryNs,
+		OpenMmapSeconds: mmapSecs,
+		OpenLoadSeconds: loadSecs,
+		Threshold:       tau,
+		ExactNsPerOp:    exactNs,
+		GatedNsPerOp:    gatedNs,
+	}
+	if queryNs > 0 {
+		res.QueriesPerSecond = 1e9 / queryNs
+	}
+	if mmapSecs > 0 {
+		res.OpenSpeedup = loadSecs / mmapSecs
+	}
+	if gatedNs > 0 {
+		res.SketchGateSpeedup = exactNs / gatedNs
+	}
+	if scanned := after.QuerySamples - before.QuerySamples; scanned > 0 {
+		res.SketchSkipFraction = float64(after.SketchSkips-before.SketchSkips) / float64(scanned)
+	}
+	fmt.Fprintf(out, "index query (n=%d, k=%d): %.0f queries/s serial, open mmap %.2gs vs load %.2gs (%.1fx), τ=%g gate %.2fx (%.0f%% skipped)\n",
+		n, topK, res.QueriesPerSecond, mmapSecs, loadSecs, res.OpenSpeedup, tau, res.SketchGateSpeedup, 100*res.SketchSkipFraction)
 	return res, nil
 }
 

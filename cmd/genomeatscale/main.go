@@ -50,6 +50,8 @@ func run(args []string, out *os.File) error {
 	phylipPath := fs.String("phylip", "", "write the distance matrix in PHYLIP format to this file")
 	newickPath := fs.String("newick", "", "write a neighbour-joining guide tree in Newick format to this file")
 	pairsThreshold := fs.Float64("pairs-threshold", -1, "if ≥ 0, print sample pairs with similarity at or above this threshold (post-hoc, from the gathered matrix)")
+	indexFlags := cliutil.BindIndex(fs)
+	statsJSON := cliutil.BindStatsJSON(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,6 +102,12 @@ func run(args []string, out *os.File) error {
 			res.N, res.N, res.Stats.TotalSeconds, res.Stats.TilesEmitted, res.Stats.PeakTileWords)
 		cliutil.PrintTuning(out, res.Stats.Tuning)
 		cliutil.PrintSketch(out, res.Stats.Sketch)
+		if err := cliutil.WriteStatsJSONFlag(out, *statsJSON, &res.Stats); err != nil {
+			return err
+		}
+		if err := indexFlags.Write(out, ds, compute.Options()); err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "\n%d retained sample pairs:\n", len(pairs))
 		return output.WritePairs(out, pairs)
 	}
@@ -133,6 +141,12 @@ func run(args []string, out *os.File) error {
 	cliutil.PrintTuning(out, res.Stats.Tuning)
 	cliutil.PrintSketch(out, res.Stats.Sketch)
 	cliutil.PrintComm(out, &res.Stats)
+	if err := cliutil.WriteStatsJSONFlag(out, *statsJSON, &res.Stats); err != nil {
+		return err
+	}
+	if err := indexFlags.Write(out, ds, opts); err != nil {
+		return err
+	}
 
 	if *simPath != "" {
 		if err := cliutil.WriteMatrixTSVFile(*simPath, res.Names, res.S); err != nil {

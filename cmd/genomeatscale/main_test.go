@@ -1,12 +1,15 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"genomeatscale/internal/cliutil"
 	"genomeatscale/internal/genome"
+	"genomeatscale/internal/index"
 )
 
 // writeTestFASTA writes n related FASTA files into dir and returns their paths.
@@ -130,5 +133,64 @@ func TestRunStreamingRejectsMatrixOutputs(t *testing.T) {
 	args := append([]string{"-top-k", "1", "-similarity", filepath.Join(dir, "s.tsv")}, paths...)
 	if err := run(args, stdout); err == nil {
 		t.Error("streaming mode combined with matrix outputs should be rejected")
+	}
+}
+
+// TestRunIndexOutAndStatsJSON checks the artifacts the gathered run emits:
+// -index-out writes a k-mer index that index.Open can query (self-query
+// returns J=1), -stats-json writes RunStats that ReadStatsJSON parses.
+func TestRunIndexOutAndStatsJSON(t *testing.T) {
+	dir := t.TempDir()
+	paths := writeTestFASTA(t, dir, 3)
+	idxPath := filepath.Join(dir, "corpus.idx")
+	statsPath := filepath.Join(dir, "stats.json")
+	stdout, _ := os.CreateTemp(dir, "stdout")
+	defer stdout.Close()
+
+	args := append([]string{"-k", "13", "-batches", "2", "-index-out", idxPath, "-stats-json", statsPath}, paths...)
+	if err := run(args, stdout); err != nil {
+		t.Fatal(err)
+	}
+
+	sf, err := os.Open(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	stats, err := cliutil.ReadStatsJSON(sf)
+	if err != nil {
+		t.Fatalf("ReadStatsJSON: %v", err)
+	}
+	if stats.Batches != 2 {
+		t.Errorf("stats.Batches = %d, want 2", stats.Batches)
+	}
+
+	corpus, err := index.Open(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer corpus.Close()
+	if corpus.Samples() != 3 {
+		t.Fatalf("index has %d samples, want 3", corpus.Samples())
+	}
+	// Re-extract the ancestor's k-mer set and query it: the top neighbour
+	// must be the ancestor itself at similarity 1.
+	records, err := genome.ReadFASTAFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := genome.BuildSampleFromRecords("q", records, genome.SampleOptions{
+		ExtractorOptions: genome.ExtractorOptions{K: 13, Canonical: true},
+		MinCount:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	neighbors, err := corpus.Query(context.Background(), s.Kmers, index.QueryOptions{TopK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(neighbors) != 1 || neighbors[0].Similarity != 1 {
+		t.Fatalf("self query neighbours = %+v, want one exact match", neighbors)
 	}
 }

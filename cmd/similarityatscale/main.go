@@ -59,6 +59,8 @@ func run(args []string, out *os.File) error {
 	ingest := cliutil.BindIngest(fs)
 	outPath := fs.String("output", "", "write the similarity matrix to this TSV file (default: print)")
 	distance := fs.Bool("distance", false, "report Jaccard distances (1 − J) instead of similarities")
+	indexFlags := cliutil.BindIndex(fs)
+	statsJSON := cliutil.BindStatsJSON(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -136,6 +138,12 @@ func run(args []string, out *os.File) error {
 		cliutil.PrintTuning(out, res.Stats.Tuning)
 		cliutil.PrintSketch(out, res.Stats.Sketch)
 		cliutil.PrintIngest(out, res.Stats.Ingest)
+		if err := cliutil.WriteStatsJSONFlag(out, *statsJSON, &res.Stats); err != nil {
+			return err
+		}
+		if err := indexFlags.Write(out, ds, compute.Options()); err != nil {
+			return err
+		}
 		fmt.Fprintf(out, "\n%d retained sample pairs:\n", len(pairs))
 		return output.WritePairs(out, pairs)
 	}
@@ -156,11 +164,18 @@ func run(args []string, out *os.File) error {
 	}
 
 	if !transport.Root() {
-		// Non-root TCP ranks hold no gathered matrix — rank 0 prints it.
+		// Non-root TCP ranks hold no gathered matrix — rank 0 prints it
+		// and writes the index/stats artifacts for the whole job.
 		fmt.Fprintf(out, "rank %d of %d: run complete in %.3fs\n",
 			*transport.Rank, opts.Procs, res.Stats.TotalSeconds)
 		cliutil.PrintComm(out, &res.Stats)
 		return nil
+	}
+	if err := cliutil.WriteStatsJSONFlag(out, *statsJSON, &res.Stats); err != nil {
+		return err
+	}
+	if err := indexFlags.Write(out, ds, opts); err != nil {
+		return err
 	}
 
 	matrix := res.S

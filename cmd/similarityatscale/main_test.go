@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"os"
@@ -8,6 +9,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"genomeatscale/internal/cliutil"
+	"genomeatscale/internal/index"
 )
 
 func writeSampleFile(t *testing.T, dir, name string, values []string) string {
@@ -189,5 +193,77 @@ func TestRunTransportFlagErrors(t *testing.T) {
 		if err := run(args, stdout); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestRunIndexOutAndStatsJSON checks the index/stats artifacts: -index-out
+// must emit a file that index.Open can serve (with the run's own similarity
+// for a sample-vs-corpus query), and -stats-json must emit JSON that
+// cliutil.ReadStatsJSON round-trips.
+func TestRunIndexOutAndStatsJSON(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSampleFile(t, dir, "a.txt", []string{"1", "2", "3"})
+	b := writeSampleFile(t, dir, "b.txt", []string{"2", "3", "4"})
+	c := writeSampleFile(t, dir, "c.txt", []string{"90", "91"})
+	idxPath := filepath.Join(dir, "corpus.idx")
+	statsPath := filepath.Join(dir, "stats.json")
+	stdout, _ := os.CreateTemp(dir, "stdout")
+	defer stdout.Close()
+
+	args := []string{"-index-out", idxPath, "-index-sketch-k", "4", "-stats-json", statsPath, a, b, c}
+	if err := run(args, stdout); err != nil {
+		t.Fatal(err)
+	}
+	content, _ := os.ReadFile(stdout.Name())
+	if !strings.Contains(string(content), "index written to") {
+		t.Errorf("missing index confirmation line:\n%s", content)
+	}
+
+	sf, err := os.Open(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	stats, err := cliutil.ReadStatsJSON(sf)
+	if err != nil {
+		t.Fatalf("ReadStatsJSON: %v", err)
+	}
+	if stats.TotalSeconds <= 0 || stats.Batches < 1 {
+		t.Errorf("implausible stats: %+v", stats)
+	}
+
+	corpus, err := index.Open(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer corpus.Close()
+	if corpus.Samples() != 3 || corpus.SketchK() != 4 {
+		t.Fatalf("index has %d samples, sketch k=%d", corpus.Samples(), corpus.SketchK())
+	}
+	// Query sample a's values against the index: the best non-self
+	// neighbour must be b at the J=0.5 the batch run printed.
+	neighbors, err := corpus.Query(context.Background(), []uint64{1, 2, 3}, index.QueryOptions{TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(neighbors) != 2 || neighbors[0].Name != "a" || neighbors[0].Similarity != 1 {
+		t.Fatalf("self neighbour wrong: %+v", neighbors)
+	}
+	if n := neighbors[1]; n.Name != "b" || n.Similarity != 0.5 {
+		t.Fatalf("expected (b, 0.5) neighbour, got %+v", n)
+	}
+
+	// The same run in streaming mode must emit the same artifacts.
+	idx2 := filepath.Join(dir, "stream.idx")
+	if err := run([]string{"-threshold", "0.4", "-index-out", idx2, "-stats-json", "-", a, b, c}, stdout); err != nil {
+		t.Fatal(err)
+	}
+	corpus2, err := index.Open(idx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer corpus2.Close()
+	if corpus2.Samples() != 3 {
+		t.Fatalf("streaming index has %d samples", corpus2.Samples())
 	}
 }

@@ -1,0 +1,122 @@
+// Command similarityd serves similarity queries against a persistent index
+// built by genomeatscale/similarityatscale -index-out. It is the
+// long-running counterpart of the batch CLIs: the index is opened without
+// loading (mmap; -load for eager loading), queries run against the packed
+// columns with the exact popcount kernels, and new samples can be appended
+// incrementally — each append extends the corpus by one durable segment,
+// no recompute.
+//
+// Endpoints:
+//
+//	GET  /healthz            liveness + sample count
+//	GET  /v1/query?values=1,2,3&top_k=5&threshold=0.4
+//	POST /v1/query           {"values":[...],"top_k":5,"threshold":0.4}
+//	POST /v1/append          {"name":"s","values":[...],"top_k":5}
+//	GET  /v1/corpus[?names=1] corpus shape, counters, build RunStats
+//	GET  /metrics            Prometheus text exposition
+//
+// Shutdown is graceful: SIGINT/SIGTERM stops the listener and drains
+// in-flight requests for -drain-timeout before forcing the process down.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"genomeatscale/internal/cliutil"
+	"genomeatscale/internal/index"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "similarityd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until ctx is cancelled (signal) or the
+// listener fails. Tests drive it directly with a cancellable context.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := cliutil.NewFlagSet("similarityd")
+	indexPath := fs.String("index", "", "index file to serve (build with genomeatscale -index-out)")
+	addr := fs.String("addr", "127.0.0.1:8044", "listen address")
+	load := fs.Bool("load", false, "read the index fully into memory instead of mmap-opening it")
+	workers := fs.Int("workers", 0, "popcount workers per query (0 = all cores)")
+	maxQueries := fs.Int("max-queries", 4, "queries computing concurrently (admission limit)")
+	readOnly := fs.Bool("read-only", false, "reject /v1/append")
+	drain := fs.Duration("drain-timeout", 10*time.Second, "in-flight drain budget on shutdown")
+	buildStats := fs.String("build-stats", "", "RunStats JSON from the batch build (-stats-json output) to expose in /metrics and /v1/corpus")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *indexPath == "" {
+		return errors.New("missing -index (build one with genomeatscale -index-out)")
+	}
+
+	var (
+		corpus *index.Corpus
+		err    error
+	)
+	if *load {
+		corpus, err = index.Load(*indexPath)
+	} else {
+		corpus, err = index.Open(*indexPath)
+	}
+	if err != nil {
+		return err
+	}
+	defer corpus.Close()
+
+	srv := newServer(corpus, *workers, *maxQueries, *readOnly, nil)
+	if *buildStats != "" {
+		bs, err := loadBuildStats(*buildStats)
+		if err != nil {
+			return err
+		}
+		srv.buildStats = bs
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	mode := "mmap"
+	if *load {
+		mode = "loaded"
+	}
+	fmt.Fprintf(out, "similarityd: serving %d samples (%d segments, %s) on %s\n",
+		corpus.Samples(), corpus.Segments(), mode, ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.routes()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(out, "similarityd: shutting down, draining for up to %v\n", *drain)
+	// Shutdown closes the listener and waits for in-flight requests; it
+	// does not cancel their contexts, so admitted queries run to
+	// completion within the drain budget.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		httpSrv.Close()
+		return fmt.Errorf("drain exceeded %v: %w", *drain, err)
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed
+	fmt.Fprintln(out, "similarityd: drained, exiting")
+	return nil
+}

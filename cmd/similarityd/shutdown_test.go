@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// leakCheck snapshots the goroutine count and returns a function that
+// fails the test if the count has not returned to (near) the baseline —
+// the convention of the transport tests, with a retry loop because
+// net/http worker goroutines unwind asynchronously after Shutdown.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			after := runtime.NumGoroutine()
+			if after <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s", before, after, buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestGracefulDrain proves the shutdown contract: once a query has been
+// admitted, Shutdown closes the listener but the in-flight request runs to
+// completion and its response reaches the client.
+func TestGracefulDrain(t *testing.T) {
+	defer leakCheck(t)()
+	_, samples, c := testCorpus(t, 10, 150, 0)
+	s := newServer(c, 1, 2, false, nil)
+	s.queryDelay = 300 * time.Millisecond
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: s.routes()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	vals := make([]string, len(samples[0]))
+	for i, v := range samples[0] {
+		vals[i] = fmt.Sprint(v)
+	}
+	type result struct {
+		status int
+		err    error
+	}
+	inFlight := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(base + "/v1/query?top_k=3&values=" + strings.Join(vals, ","))
+		if err != nil {
+			inFlight <- result{err: err}
+			return
+		}
+		resp.Body.Close()
+		inFlight <- result{status: resp.StatusCode}
+	}()
+
+	// Wait until the query is genuinely in flight before shutting down.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.inFlight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("query never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	shutdownStart := time.Now()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	r := <-inFlight
+	if r.err != nil || r.status != http.StatusOK {
+		t.Fatalf("in-flight query during drain: status %d, err %v", r.status, r.err)
+	}
+	if waited := time.Since(shutdownStart); waited < 100*time.Millisecond {
+		t.Fatalf("Shutdown returned after %v — it cannot have drained the delayed query", waited)
+	}
+	// The listener must be closed: a new connection is refused.
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), 200*time.Millisecond); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+}
+
+// TestConcurrentQueriesRaceClean hammers a server with parallel queries
+// and appends; run under -race this is the race-clean serving check.
+func TestConcurrentQueriesRaceClean(t *testing.T) {
+	defer leakCheck(t)()
+	_, samples, c := testCorpus(t, 12, 180, 4)
+	s := newServer(c, 2, 3, false, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: s.routes()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if w%4 == 3 && i%5 == 0 {
+					body := fmt.Sprintf(`{"name":"w%dq%d","values":[1,2,%d]}`, w, i, 3+i)
+					resp, err := http.Post(base+"/v1/append", "application/json", strings.NewReader(body))
+					if err != nil {
+						t.Errorf("append: %v", err)
+						return
+					}
+					resp.Body.Close()
+					continue
+				}
+				vals := make([]string, len(samples[i%len(samples)]))
+				for k, v := range samples[i%len(samples)] {
+					vals[k] = fmt.Sprint(v)
+				}
+				resp, err := http.Get(base + "/v1/query?top_k=4&values=" + strings.Join(vals, ","))
+				if err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("query status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	<-serveErr
+	if got := s.corpus.Counters(); got.Queries == 0 || got.Appends == 0 {
+		t.Fatalf("counters %+v after hammering", got)
+	}
+}
+
+// syncBuffer lets the run() goroutine write logs while the test polls
+// them.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRunLifecycle drives the real main-loop: run() serves an index file
+// from disk, answers /healthz and a query, and exits cleanly (draining)
+// when its context is cancelled — the in-process version of the CI
+// SIGTERM smoke test, goroutine-leak-checked.
+func TestRunLifecycle(t *testing.T) {
+	defer leakCheck(t)()
+	_, samples, c := testCorpus(t, 8, 120, 4)
+	path := filepath.Join(t.TempDir(), "corpus.idx")
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"mmap", "load"} {
+		ctx, cancel := context.WithCancel(context.Background())
+		out := &syncBuffer{}
+		args := []string{"-index", path, "-addr", "127.0.0.1:0", "-drain-timeout", "5s"}
+		if mode == "load" {
+			args = append(args, "-load")
+		}
+		runErr := make(chan error, 1)
+		go func() { runErr <- run(ctx, args, out) }()
+
+		addrRe := regexp.MustCompile(`on (127\.0\.0\.1:\d+)`)
+		var base string
+		deadline := time.Now().Add(5 * time.Second)
+		for base == "" {
+			if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+				base = "http://" + m[1]
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: server never announced its address; output: %q", mode, out.String())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatalf("%s: healthz: %v", mode, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: healthz status %d", mode, resp.StatusCode)
+		}
+		vals := make([]string, len(samples[2]))
+		for i, v := range samples[2] {
+			vals[i] = fmt.Sprint(v)
+		}
+		resp, err = http.Get(base + "/v1/query?top_k=3&values=" + strings.Join(vals, ","))
+		if err != nil {
+			t.Fatalf("%s: query: %v", mode, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: query status %d", mode, resp.StatusCode)
+		}
+
+		cancel()
+		select {
+		case err := <-runErr:
+			if err != nil {
+				t.Fatalf("%s: run returned %v", mode, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s: run did not exit after cancellation", mode)
+		}
+		if logs := out.String(); !strings.Contains(logs, "drained, exiting") {
+			t.Fatalf("%s: missing drain log: %q", mode, logs)
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, []string{}, &bytes.Buffer{}); err == nil {
+		t.Fatal("run without -index succeeded")
+	}
+	if err := run(ctx, []string{"-index", "/nonexistent/idx"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("run with missing index file succeeded")
+	}
+	if err := run(ctx, []string{"-bogus"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("run with unknown flag succeeded")
+	}
+}

@@ -7,6 +7,7 @@ package cliutil
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -281,4 +282,26 @@ func Truncate(s string, n int) string {
 		return s
 	}
 	return s[:n]
+}
+
+// WriteStatsJSON encodes a run's statistics as indented, machine-readable
+// JSON — the single RunStats encoder shared by the batch CLIs' -stats-json
+// flag and by similarityd, whose /metrics and /v1/corpus endpoints re-emit
+// the figures a build recorded. A trailing newline terminates the object
+// so the output concatenates cleanly into log streams.
+func WriteStatsJSON(w io.Writer, stats *core.RunStats) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(stats)
+}
+
+// ReadStatsJSON decodes RunStats previously written by WriteStatsJSON.
+func ReadStatsJSON(r io.Reader) (*core.RunStats, error) {
+	var stats core.RunStats
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&stats); err != nil {
+		return nil, fmt.Errorf("cliutil: decoding run stats: %w", err)
+	}
+	return &stats, nil
 }

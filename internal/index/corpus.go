@@ -1,0 +1,524 @@
+// Package index implements the persistent similarity corpus: a set of
+// packed column segments (internal/index/indexfile) that answers
+// query-vs-corpus top-k and threshold searches with the exact popcount
+// kernels, supports incremental append without recomputation, and can be
+// opened without loading via mmap.
+//
+// The corpus is segmented LSM-style. The base segment holds the batch-built
+// samples over a row map covering their attribute union; every Append adds
+// a one-sample segment with its own row map. A query translates its values
+// through each segment's row map (binary search — a value absent from the
+// map cannot intersect any of that segment's samples), packs them into a
+// one-column bitmat matrix over the segment's row space and popcounts it
+// against every resident column. Appending therefore extends the Gram
+// product by exactly one row band: the new column is packed once, and its
+// intersections against the resident packed columns are computed by the
+// same kernel a query uses — no rebuild, and append-then-query is
+// bit-identical to rebuild-then-query because both paths feed identical
+// integer cardinalities to the single Eq. 2 implementation (dist.Jaccard).
+package index
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"genomeatscale/internal/bitmat"
+	"genomeatscale/internal/dist"
+	"genomeatscale/internal/index/indexfile"
+	"genomeatscale/internal/minhash"
+	"genomeatscale/internal/par"
+	"genomeatscale/internal/tile"
+)
+
+// Source is the sample input a corpus is built from. core.Dataset
+// satisfies it, as does any in-memory sample list.
+type Source interface {
+	// NumSamples returns the number of samples.
+	NumSamples() int
+	// Sample returns the sorted, duplicate-free attribute values of
+	// sample i. The returned slice is not modified.
+	Sample(i int) []uint64
+	// SampleName returns a human-readable identifier for sample i.
+	SampleName(i int) string
+}
+
+// DefaultSketchSlack is the recall margin subtracted from the query
+// threshold before the sketch gate is applied — the same margin the batch
+// prescreen tier uses (core.DefaultSketchSlack; kept numerically in sync
+// by a test).
+const DefaultSketchSlack = 0.1
+
+// Options configures Build.
+type Options struct {
+	// B is the packing width (bits per word row), 1..64. 0 means 64.
+	B int
+	// DenseThreshold is the bitmat dense-threshold spec (bitmat.DenseAuto,
+	// bitmat.DenseNever or an explicit stored-word count).
+	DenseThreshold int
+	// SketchK, when positive, builds a bottom-k MinHash sketch of each
+	// sample so thresholded queries can gate popcounts.
+	SketchK int
+}
+
+// QueryOptions configures one Query.
+type QueryOptions struct {
+	// TopK limits the result to the k best neighbors (0 = unlimited).
+	TopK int
+	// Threshold keeps only neighbors with similarity ≥ Threshold. With
+	// sketches present it also arms the sketch gate.
+	Threshold float64
+	// Workers bounds query parallelism (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+	// NoSketch disables the sketch gate even when sketches are present,
+	// making a thresholded query exact.
+	NoSketch bool
+	// SketchSlack overrides the gate's recall margin (0 = DefaultSketchSlack).
+	SketchSlack float64
+}
+
+// Neighbor is one query result: a corpus sample, its exact intersection
+// cardinality with the query, and the Eq. 2 similarity derived from it.
+type Neighbor struct {
+	Sample       int     `json:"sample"`
+	Name         string  `json:"name"`
+	Intersection int64   `json:"intersection"`
+	Similarity   float64 `json:"similarity"`
+}
+
+// Counters are the corpus's monotonic operation counters, exported to the
+// query service's /metrics endpoint.
+type Counters struct {
+	Queries      int64 `json:"queries"`
+	Appends      int64 `json:"appends"`
+	Popcounts    int64 `json:"popcounts"`
+	SketchSkips  int64 `json:"sketch_skips"`
+	QuerySamples int64 `json:"query_samples"`
+}
+
+// Corpus is a searchable, appendable collection of packed sample columns.
+// All methods are safe for concurrent use; queries proceed concurrently
+// with each other and with at most one append.
+type Corpus struct {
+	b              int
+	sketchK        int
+	denseThreshold int
+
+	mu     sync.Mutex // serialises appends and guards segs replacement
+	segs   atomic.Pointer[[]*indexfile.Segment]
+	total  atomic.Int64 // total samples across segments
+	path   string       // backing file ("" = unbacked)
+	mapped *indexfile.Mapped
+
+	queries      atomic.Int64
+	appends      atomic.Int64
+	popcounts    atomic.Int64
+	sketchSkips  atomic.Int64
+	querySamples atomic.Int64
+}
+
+// Build packs every sample of src into a single base segment. The row map
+// is the sorted union of all attribute values, so the packed columns are
+// exactly the filtered indicator matrix of the batch engine.
+func Build(src Source, opts Options) (*Corpus, error) {
+	c, err := newCorpus(opts)
+	if err != nil {
+		return nil, err
+	}
+	n := src.NumSamples()
+	union := make(map[uint64]struct{})
+	for i := 0; i < n; i++ {
+		for _, v := range src.Sample(i) {
+			union[v] = struct{}{}
+		}
+	}
+	rowMap := make([]uint64, 0, len(union))
+	for v := range union {
+		rowMap = append(rowMap, v)
+	}
+	sort.Slice(rowMap, func(i, j int) bool { return rowMap[i] < rowMap[j] })
+
+	rowsPerCol := make([][]int, n)
+	cards := make([]int64, n)
+	names := make([]string, n)
+	var sketches []minhash.Sketch
+	if c.sketchK > 0 {
+		sketches = make([]minhash.Sketch, n)
+	}
+	for i := 0; i < n; i++ {
+		vals := src.Sample(i)
+		rows := make([]int, len(vals))
+		for k, v := range vals {
+			r := findRow(rowMap, v)
+			if r < 0 {
+				return nil, fmt.Errorf("index: sample %d value %d missing from row map (unsorted input?)", i, v)
+			}
+			rows[k] = r
+		}
+		if !sort.IntsAreSorted(rows) {
+			return nil, fmt.Errorf("index: sample %d values not sorted", i)
+		}
+		for k := 1; k < len(rows); k++ {
+			if rows[k] == rows[k-1] {
+				return nil, fmt.Errorf("index: sample %d has duplicate value %d", i, vals[k])
+			}
+		}
+		rowsPerCol[i] = rows
+		cards[i] = int64(len(vals))
+		names[i] = src.SampleName(i)
+		if c.sketchK > 0 {
+			sketches[i] = minhash.MustNew(vals, c.sketchK)
+		}
+	}
+	seg := &indexfile.Segment{
+		RowMap:   rowMap,
+		Cards:    cards,
+		Names:    names,
+		Pack:     bitmat.PackColumnsThreshold(rowsPerCol, len(rowMap), c.b, c.denseThreshold),
+		Sketches: sketches,
+	}
+	segs := []*indexfile.Segment{seg}
+	c.segs.Store(&segs)
+	c.total.Store(int64(n))
+	return c, nil
+}
+
+func newCorpus(opts Options) (*Corpus, error) {
+	b := opts.B
+	if b == 0 {
+		b = 64
+	}
+	if b < 1 || b > 64 {
+		return nil, fmt.Errorf("index: packing width %d outside [1,64]", b)
+	}
+	if opts.SketchK < 0 {
+		return nil, fmt.Errorf("index: negative sketch size %d", opts.SketchK)
+	}
+	c := &Corpus{b: b, sketchK: opts.SketchK, denseThreshold: opts.DenseThreshold}
+	empty := []*indexfile.Segment{}
+	c.segs.Store(&empty)
+	return c, nil
+}
+
+// findRow locates v in the sorted row map, or -1.
+func findRow(rowMap []uint64, v uint64) int {
+	r := sort.Search(len(rowMap), func(i int) bool { return rowMap[i] >= v })
+	if r < len(rowMap) && rowMap[r] == v {
+		return r
+	}
+	return -1
+}
+
+// WriteFile persists the corpus to path and binds it as the backing file:
+// subsequent Appends are durably appended there.
+func (c *Corpus) WriteFile(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := &indexfile.File{B: c.b, SketchK: c.sketchK, Segments: *c.segs.Load()}
+	if err := indexfile.WriteFile(path, f); err != nil {
+		return err
+	}
+	c.path = path
+	return nil
+}
+
+// Open maps an index file without loading it: metadata is validated, the
+// packed payloads stay on disk and page in on first use. The corpus stays
+// bound to the file, so Appends persist. Close must be called to unmap.
+func Open(path string) (*Corpus, error) {
+	m, err := indexfile.OpenMapped(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := fromFile(m.File, path)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	c.mapped = m
+	return c, nil
+}
+
+// Load reads an index file fully into memory. The corpus stays bound to
+// the file for Append persistence, but needs no Close.
+func Load(path string) (*Corpus, error) {
+	f, err := indexfile.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return fromFile(f, path)
+}
+
+func fromFile(f *indexfile.File, path string) (*Corpus, error) {
+	spec := bitmat.DenseAuto
+	if len(f.Segments) > 0 {
+		spec = f.Segments[0].Pack.DenseThresholdSpec()
+	}
+	c, err := newCorpus(Options{B: f.B, DenseThreshold: spec, SketchK: f.SketchK})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, seg := range f.Segments {
+		total += seg.Samples()
+	}
+	c.segs.Store(&f.Segments)
+	c.total.Store(int64(total))
+	c.path = path
+	return c, nil
+}
+
+// Close unmaps a mapped corpus; it is a no-op otherwise. The corpus must
+// not be used afterwards.
+func (c *Corpus) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mapped == nil {
+		return nil
+	}
+	m := c.mapped
+	c.mapped = nil
+	empty := []*indexfile.Segment{}
+	c.segs.Store(&empty)
+	c.total.Store(0)
+	return m.Close()
+}
+
+// Samples returns the number of samples in the corpus.
+func (c *Corpus) Samples() int { return int(c.total.Load()) }
+
+// Segments returns the number of segments (1 + number of appends since
+// the last full build).
+func (c *Corpus) Segments() int { return len(*c.segs.Load()) }
+
+// B returns the packing width.
+func (c *Corpus) B() int { return c.b }
+
+// SketchK returns the per-sample sketch size (0 = no sketches).
+func (c *Corpus) SketchK() int { return c.sketchK }
+
+// Path returns the backing file path ("" when unbacked).
+func (c *Corpus) Path() string { return c.path }
+
+// Names returns all sample names in global order.
+func (c *Corpus) Names() []string {
+	segs := *c.segs.Load()
+	var names []string
+	for _, seg := range segs {
+		names = append(names, seg.Names...)
+	}
+	return names
+}
+
+// Counters returns a snapshot of the operation counters.
+func (c *Corpus) Counters() Counters {
+	return Counters{
+		Queries:      c.queries.Load(),
+		Appends:      c.appends.Load(),
+		Popcounts:    c.popcounts.Load(),
+		SketchSkips:  c.sketchSkips.Load(),
+		QuerySamples: c.querySamples.Load(),
+	}
+}
+
+// MemoryWords returns the packed storage footprint in 8-byte words across
+// all segments (resident or mapped).
+func (c *Corpus) MemoryWords() int64 {
+	var words int64
+	for _, seg := range *c.segs.Load() {
+		words += int64(seg.Pack.MemoryWords())
+	}
+	return words
+}
+
+// normalize sorts and deduplicates query values without modifying the
+// caller's slice.
+func normalize(values []uint64) []uint64 {
+	vals := append([]uint64(nil), values...)
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	out := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// queryChunk is the number of corpus columns one parallel task scans —
+// coarse enough that task handout does not dominate the popcounts.
+const queryChunk = 256
+
+// Query returns the samples most similar to the given value set, exactly:
+// every similarity is derived from an exact packed intersection via Eq. 2.
+// Results are ordered by descending similarity, ties by ascending sample
+// index — the order of the batch engine's TopK/Threshold sinks, so a
+// served query is bit-identical to a batch run over the same corpus.
+//
+// With a positive Threshold and sketches present (and NoSketch unset), a
+// MinHash gate at Threshold−SketchSlack skips samples whose estimated
+// similarity is hopeless — same recall contract as the batch prescreen
+// tier.
+func (c *Corpus) Query(ctx context.Context, values []uint64, opts QueryOptions) ([]Neighbor, error) {
+	if opts.TopK < 0 {
+		return nil, fmt.Errorf("index: negative top-k %d", opts.TopK)
+	}
+	if opts.Threshold < 0 || opts.Threshold > 1 {
+		return nil, fmt.Errorf("index: threshold %v outside [0,1]", opts.Threshold)
+	}
+	c.queries.Add(1)
+	vals := normalize(values)
+	qCard := int64(len(vals))
+
+	var qSketch minhash.Sketch
+	gate := opts.Threshold > 0 && c.sketchK > 0 && !opts.NoSketch
+	slack := opts.SketchSlack
+	if slack == 0 {
+		slack = DefaultSketchSlack
+	}
+	gateTau := opts.Threshold - slack
+	if gate {
+		qSketch = minhash.MustNew(vals, c.sketchK)
+	}
+
+	segs := *c.segs.Load()
+	var (
+		resMu sync.Mutex
+		res   []Neighbor
+	)
+	base := 0
+	for _, seg := range segs {
+		n := seg.Samples()
+		if n == 0 {
+			continue
+		}
+		qPack := c.packQuery(seg, vals)
+		segBase := base
+		chunks := (n + queryChunk - 1) / queryChunk
+		err := par.ForEachCtx(ctx, opts.Workers, chunks, func(chunk int) {
+			lo := chunk * queryChunk
+			hi := min(lo+queryChunk, n)
+			local := make([]Neighbor, 0, hi-lo)
+			var pops, skips int64
+			for j := lo; j < hi; j++ {
+				if gate && gateTau > 0 {
+					ok, err := minhash.EstimateAtLeast(qSketch, seg.Sketches[j], gateTau)
+					if err == nil && !ok {
+						skips++
+						continue
+					}
+				}
+				pops++
+				b := int64(bitmat.PairPopcountBetween(qPack, 0, seg.Pack, j))
+				sim := dist.Jaccard(b, qCard, seg.Cards[j])
+				if sim < opts.Threshold {
+					continue
+				}
+				local = append(local, Neighbor{
+					Sample:       segBase + j,
+					Name:         seg.Names[j],
+					Intersection: b,
+					Similarity:   sim,
+				})
+			}
+			c.popcounts.Add(pops)
+			c.sketchSkips.Add(skips)
+			if len(local) > 0 {
+				resMu.Lock()
+				res = append(res, local...)
+				resMu.Unlock()
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		base += n
+	}
+	c.querySamples.Add(int64(base))
+
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Similarity != res[j].Similarity {
+			return res[i].Similarity > res[j].Similarity
+		}
+		return res[i].Sample < res[j].Sample
+	})
+	if opts.TopK > 0 && len(res) > opts.TopK {
+		res = res[:opts.TopK]
+	}
+	return res, nil
+}
+
+// packQuery packs the query values into a one-column matrix over the
+// segment's row space. Values outside the segment's row map are dropped:
+// they cannot intersect any resident column.
+func (c *Corpus) packQuery(seg *indexfile.Segment, vals []uint64) *bitmat.Packed {
+	rows := make([]int, 0, len(vals))
+	for _, v := range vals {
+		if r := findRow(seg.RowMap, v); r >= 0 {
+			rows = append(rows, r)
+		}
+	}
+	return bitmat.PackColumnsThreshold([][]int{rows}, len(seg.RowMap), c.b, c.denseThreshold)
+}
+
+// TopPairs adapts a query result to the batch tile.Pair convention for a
+// query that is itself corpus sample q: each neighbor j becomes the
+// upper-triangle pair (min(q,j), max(q,j)). Self pairs are dropped. The
+// order is preserved, which matches tile.SortPairs for a fixed q.
+func TopPairs(q int, neighbors []Neighbor) []tile.Pair {
+	out := make([]tile.Pair, 0, len(neighbors))
+	for _, nb := range neighbors {
+		if nb.Sample == q {
+			continue
+		}
+		i, j := q, nb.Sample
+		if j < i {
+			i, j = j, i
+		}
+		out = append(out, tile.Pair{I: i, J: j, Similarity: nb.Similarity})
+	}
+	return out
+}
+
+// Append adds one sample to the corpus as a new segment and returns its
+// global index. The segment's row map is the sample's own value set, so
+// the cost is O(|values| log |values|) — no recomputation against the
+// resident columns; their intersections with the new sample are computed
+// on demand by Query through the same popcount kernel. When the corpus is
+// file-backed the segment is durably appended (fsync'd data, then a
+// published segment count) before it becomes visible to queries.
+func (c *Corpus) Append(name string, values []uint64) (int, error) {
+	vals := normalize(values)
+	rows := make([]int, len(vals))
+	for i := range rows {
+		rows[i] = i
+	}
+	var sketches []minhash.Sketch
+	if c.sketchK > 0 {
+		sketches = []minhash.Sketch{minhash.MustNew(vals, c.sketchK)}
+	}
+	seg := &indexfile.Segment{
+		RowMap:   vals,
+		Cards:    []int64{int64(len(vals))},
+		Names:    []string{name},
+		Pack:     bitmat.PackColumnsThreshold([][]int{rows}, len(vals), c.b, c.denseThreshold),
+		Sketches: sketches,
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.path != "" {
+		if err := indexfile.AppendSegment(c.path, seg, c.b, c.sketchK); err != nil {
+			return 0, err
+		}
+	}
+	old := *c.segs.Load()
+	segs := make([]*indexfile.Segment, len(old)+1)
+	copy(segs, old)
+	segs[len(old)] = seg
+	c.segs.Store(&segs)
+	id := int(c.total.Add(1)) - 1
+	c.appends.Add(1)
+	return id, nil
+}

@@ -1,0 +1,58 @@
+package indexfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+)
+
+// hostLittleEndian reports whether the host stores multi-byte integers in
+// the file's byte order, which is what makes zero-copy adoption of the
+// fixed-width sections legal.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// castU64 reinterprets b as n little-endian uint64s. On a little-endian
+// host with an 8-byte-aligned slice this is a zero-copy cast — the mmap'd
+// payload is served straight from the page cache; otherwise the values are
+// decoded into a fresh slice.
+func castU64(b []byte, n int) []uint64 {
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return out
+}
+
+// castI64 is castU64 for signed values.
+func castI64(b []byte, n int) []int64 {
+	u := castU64(b, n)
+	return unsafe.Slice((*int64)(unsafe.Pointer(unsafe.SliceData(u))), len(u))
+}
+
+// castInts decodes n i64 values into an []int, range-checking each against
+// [min, max]. Unlike the payload casts this always copies: int width is
+// platform-dependent, and the slices feed bitmat.FromRaw which adopts
+// them, so a private copy also keeps the mmap region strictly read-only.
+func castInts(b []byte, n int, min, max int64, what string) ([]int, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		v := int64(binary.LittleEndian.Uint64(b[i*8:]))
+		if v < min || v > max {
+			return nil, fmt.Errorf("indexfile: %s %d outside [%d,%d]", what, v, min, max)
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package indexfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"genomeatscale/internal/bitmat"
+	"genomeatscale/internal/minhash"
+)
+
+// FuzzReadIndex fuzzes the index reader with arbitrary bytes, following
+// the FuzzReadBinary/FuzzReadFrame convention: Decode must never panic or
+// allocate past the input size, and any input it accepts must re-encode
+// canonically — Decode(enc(Decode(data))) is byte-identical. Seeds cover
+// the interesting failure classes: valid files (with and without
+// sketches), header bombs, truncations, a stale unpublished segment tail
+// and a duplicated segment body.
+func FuzzReadIndex(f *testing.F) {
+	fz := &File{B: 64}
+	seg := &Segment{
+		RowMap: []uint64{3, 7, 9, 200},
+		Cards:  []int64{2, 3},
+		Names:  []string{"a", "bb"},
+		Pack: bitmat.PackColumnsThreshold([][]int{{0, 2}, {1, 2, 3}}, 4, 64,
+			bitmat.DenseAuto),
+	}
+	fz.Segments = []*Segment{seg}
+	var plain bytes.Buffer
+	if _, err := fz.WriteTo(&plain); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain.Bytes())
+
+	sk := &File{B: 64, SketchK: 3, Segments: []*Segment{buildFuzzSketchSegment()}}
+	var sketched bytes.Buffer
+	if _, err := sk.WriteTo(&sketched); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sketched.Bytes())
+
+	// Header bomb: segment count of 2^60.
+	bomb := append([]byte{}, plain.Bytes()...)
+	binary.LittleEndian.PutUint64(bomb[segCountOff:], 1<<60)
+	f.Add(bomb)
+	// Sample-count bomb inside the segment header.
+	bomb2 := append([]byte{}, plain.Bytes()...)
+	binary.LittleEndian.PutUint64(bomb2[fileHeaderSize+8:], 1<<59)
+	f.Add(bomb2)
+	// Truncations.
+	f.Add(plain.Bytes()[:fileHeaderSize-3])
+	f.Add(plain.Bytes()[:len(plain.Bytes())-5])
+	// Unpublished tail (crash-consistent append) and a duplicate segment
+	// body with a stale count.
+	f.Add(append(append([]byte{}, plain.Bytes()...), plain.Bytes()[fileHeaderSize:]...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(data)
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if _, err := got.WriteTo(&first); err != nil {
+			t.Fatalf("re-encoding accepted input: %v", err)
+		}
+		again, err := Decode(first.Bytes())
+		if err != nil {
+			t.Fatalf("decoding canonical encoding: %v", err)
+		}
+		var second bytes.Buffer
+		if _, err := again.WriteTo(&second); err != nil {
+			t.Fatalf("second encode: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}
+
+func buildFuzzSketchSegment() *Segment {
+	s := &Segment{
+		RowMap: []uint64{1, 2, 5},
+		Cards:  []int64{3},
+		Names:  []string{"s"},
+		Pack:   bitmat.PackColumnsThreshold([][]int{{0, 1, 2}}, 3, 64, bitmat.DenseNever),
+	}
+	s.Sketches = []minhash.Sketch{minhash.MustNew([]uint64{1, 2, 5}, 3)}
+	return s
+}
