@@ -75,7 +75,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	defer corpus.Close()
+	// Close unmaps the index, so it must only run once every handler that
+	// might read mapped pages has finished. Exit paths that can leave
+	// handlers in flight (listener failure, drain timeout) clear the flag
+	// and let process teardown reclaim the mapping instead of risking a
+	// fault under a still-running query.
+	closeCorpus := true
+	defer func() {
+		if closeCorpus {
+			corpus.Close()
+		}
+	}()
 
 	srv := newServer(corpus, *workers, *maxQueries, *readOnly, nil)
 	if *buildStats != "" {
@@ -103,6 +113,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	select {
 	case err := <-serveErr:
+		// Serve failed (listener error); requests it already admitted may
+		// still be running.
+		closeCorpus = false
 		return err
 	case <-ctx.Done():
 	}
@@ -113,7 +126,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		// Close aborts the remaining connections but does not wait for
+		// their handlers, so the corpus must stay mapped.
 		httpSrv.Close()
+		closeCorpus = false
 		return fmt.Errorf("drain exceeded %v: %w", *drain, err)
 	}
 	<-serveErr // Serve has returned http.ErrServerClosed

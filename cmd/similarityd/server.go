@@ -203,8 +203,10 @@ type appendRequest struct {
 	Name   string   `json:"name"`
 	Values []uint64 `json:"values"`
 	// TopK, when positive, also returns the new sample's top-k neighbors
-	// among the previously resident samples — the one-row-band Gram
-	// extension computed at append time.
+	// among the resident samples — the one-row-band Gram extension computed
+	// at append time. The query and the append are not atomic: under
+	// concurrent appends the neighbors reflect the corpus as of the query,
+	// which may already include samples appended after this request began.
 	TopK      int     `json:"top_k"`
 	Threshold float64 `json:"threshold"`
 }
@@ -237,14 +239,30 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	}
 	var neighbors []index.Neighbor
 	if req.TopK > 0 || req.Threshold > 0 {
+		// The neighbor query costs the same popcount work as /v1/query, so
+		// it competes for the same admission slots — otherwise concurrent
+		// appends could oversubscribe the popcount workers the limiter
+		// exists to bound.
+		ctx := r.Context()
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			s.fail(w, http.StatusServiceUnavailable, "cancelled while waiting for a query slot")
+			return
+		}
 		var err error
-		neighbors, err = s.corpus.Query(r.Context(), req.Values, index.QueryOptions{
+		neighbors, err = s.corpus.Query(ctx, req.Values, index.QueryOptions{
 			TopK:      req.TopK,
 			Threshold: req.Threshold,
 			Workers:   s.workers,
 		})
+		<-s.sem
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, "neighbor query: %v", err)
+			status := http.StatusBadRequest
+			if ctx.Err() != nil {
+				status = http.StatusServiceUnavailable
+			}
+			s.fail(w, status, "neighbor query: %v", err)
 			return
 		}
 	}

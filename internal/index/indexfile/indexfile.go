@@ -35,7 +35,9 @@
 // The segment count lives at a fixed header offset so an appender can
 // write a new segment past the end, fsync, then publish it by bumping the
 // count — a crash between the two steps leaves the previous, fully
-// consistent index visible.
+// consistent index visible. An appender truncates any such unpublished
+// tail before writing, so segment offsets always follow from the
+// published headers alone.
 package indexfile
 
 import (
@@ -480,13 +482,14 @@ func WriteFile(path string, f *File) error {
 	return out.Close()
 }
 
-// AppendSegment durably appends one segment to an existing index file. The
-// segment bytes are written past the current end and synced before the
-// header's segment count is bumped and synced again, so a crash at any
-// point leaves a readable index: either without the new segment, or with
-// it fully published. sketchK must match the file's (the caller owns the
-// corpus-wide sketch configuration); the file header is read back to
-// enforce agreement.
+// AppendSegment durably appends one segment to an existing index file. Any
+// orphaned tail from a previously crashed or failed append is truncated
+// first; the segment bytes are then written past the consistent end and
+// synced before the header's segment count is bumped and synced again, so
+// a crash at any point leaves a readable index: either without the new
+// segment, or with it fully published. sketchK must match the file's (the
+// caller owns the corpus-wide sketch configuration); the file header is
+// read back to enforce agreement.
 func AppendSegment(path string, seg *Segment, b, sketchK int) error {
 	fd, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
@@ -508,22 +511,123 @@ func AppendSegment(path string, seg *Segment, b, sketchK int) error {
 	}
 	segCount := binary.LittleEndian.Uint64(h[segCountOff:])
 
-	if _, err := fd.Seek(0, io.SeekEnd); err != nil {
+	// A prior crashed or failed append may have left a partial segment past
+	// the published data. Decode tolerates that tail on open, but appending
+	// after it would put the new segment past garbage sitting at the offset
+	// where segment parsing expects it — publishing the bumped count would
+	// then corrupt the index permanently. Reconcile by computing the
+	// consistent end from the published segment headers and truncating the
+	// orphan before writing.
+	end, err := dataEnd(fd, segCount, sketchK)
+	if err != nil {
+		return err
+	}
+	if err := fd.Truncate(end); err != nil {
+		return err
+	}
+	if _, err := fd.Seek(end, io.SeekStart); err != nil {
 		return err
 	}
 	w := &writer{w: fd}
 	writeSegment(w, seg, sketchK)
-	if w.err != nil {
-		return w.err
+	if w.err == nil {
+		w.err = fd.Sync()
 	}
-	if err := fd.Sync(); err != nil {
-		return err
+	if w.err != nil {
+		// Drop the partial tail (best effort — dataEnd reconciles again on
+		// retry even if this truncate fails too, e.g. on a full disk).
+		fd.Truncate(end)
+		return w.err
 	}
 	binary.LittleEndian.PutUint64(h[:8], segCount+1)
 	if _, err := fd.WriteAt(h[:8], segCountOff); err != nil {
 		return err
 	}
 	return fd.Sync()
+}
+
+// dataEnd returns the byte offset one past the last published segment —
+// the consistent end of the file. Bytes beyond it are an orphaned tail
+// left by an append that crashed or failed before publishing. The walk
+// touches only the segCount segment headers, never the payloads.
+func dataEnd(fd *os.File, segCount uint64, sketchK int) (int64, error) {
+	st, err := fd.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := st.Size()
+	off := int64(fileHeaderSize)
+	h := make([]byte, segHeaderSize)
+	for i := uint64(0); i < segCount; i++ {
+		if size-off < segHeaderSize {
+			return 0, fmt.Errorf("indexfile: segment %d header past end of file", i)
+		}
+		if _, err := fd.ReadAt(h, off); err != nil {
+			return 0, fmt.Errorf("indexfile: reading segment %d header: %w", i, err)
+		}
+		if string(h[:8]) != segMagic {
+			return 0, fmt.Errorf("indexfile: segment %d: bad magic %q", i, h[:8])
+		}
+		ext, err := segmentExtent(h, sketchK, size-off-segHeaderSize)
+		if err != nil {
+			return 0, fmt.Errorf("indexfile: segment %d: %w", i, err)
+		}
+		off += segHeaderSize + ext
+		if off > size {
+			return 0, fmt.Errorf("indexfile: segment %d extends past end of file", i)
+		}
+	}
+	return off, nil
+}
+
+// segmentExtent computes a segment's payload size (everything after its
+// header) from the header fields, bounding each count by remain — the
+// bytes left in the file — so a corrupt header fails instead of
+// overflowing. The section list mirrors decodeSegment.
+func segmentExtent(h []byte, sketchK int, remain int64) (int64, error) {
+	count := func(off int, elemSize int64, what string) (int64, error) {
+		v := binary.LittleEndian.Uint64(h[off:])
+		if remain < 0 || v > uint64(remain)/uint64(elemSize) {
+			return 0, fmt.Errorf("%s count %d exceeds file size", what, v)
+		}
+		return int64(v), nil
+	}
+	samples, err := count(8, 8, "sample")
+	if err != nil {
+		return 0, err
+	}
+	activeRows, err := count(16, 8, "row map")
+	if err != nil {
+		return 0, err
+	}
+	sparseNNZ, err := count(40, 8, "sparse word")
+	if err != nil {
+		return 0, err
+	}
+	slabWords, err := count(48, 8, "slab word")
+	if err != nil {
+		return 0, err
+	}
+	nameBytes, err := count(64, 1, "name blob")
+	if err != nil {
+		return 0, err
+	}
+	namePadded := (nameBytes + 7) &^ 7
+	ext := 8*(activeRows+ // rowMap
+		samples+ // cards
+		(samples+1)+ // colPtr
+		2*sparseNNZ+ // wordRow + words
+		samples+ // denseOff
+		slabWords+ // slab
+		(samples+1)) + // nameOff
+		namePadded // names, zero-padded to 8
+	if sketchK > 0 {
+		if samples > 0 && int64(sketchK) > remain/8/samples {
+			return 0, fmt.Errorf("%d sketches of size %d exceed file size", samples, sketchK)
+		}
+		ext += 8 * (samples + samples*int64(sketchK)) // sketchLen + sketches
+	}
+	return ext, nil
 }
 
 // Mapped is an index opened without loading: File's heavy sections alias

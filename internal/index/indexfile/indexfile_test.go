@@ -211,6 +211,55 @@ func TestTrailingUnpublishedSegment(t *testing.T) {
 	}
 }
 
+// TestAppendSegmentReconcilesOrphanTail simulates append-after-crash: a
+// prior append wrote some or all of a segment's bytes but died before
+// publishing the count. The next append must truncate that orphan tail —
+// otherwise its segment lands past the garbage and reopening fails (or
+// resurrects the unpublished segment) at the expected segment offset.
+func TestAppendSegmentReconcilesOrphanTail(t *testing.T) {
+	for _, sketchK := range []int{0, 4} {
+		orphan := buildSegment(t, [][]uint64{{42, 43}}, []string{"crashed"}, sketchK, bitmat.DenseAuto)
+		var orphanBytes bytes.Buffer
+		ow := &writer{w: &orphanBytes}
+		writeSegment(ow, orphan, sketchK)
+		if ow.err != nil {
+			t.Fatalf("writeSegment: %v", ow.err)
+		}
+		// A torn half-written tail and a complete-but-unpublished one.
+		for _, tail := range [][]byte{
+			orphanBytes.Bytes()[:orphanBytes.Len()/2],
+			orphanBytes.Bytes(),
+		} {
+			path := filepath.Join(t.TempDir(), "idx")
+			f := fixtureFile(t, sketchK)
+			if err := WriteFile(path, f); err != nil {
+				t.Fatalf("WriteFile: %v", err)
+			}
+			fd, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fd.Write(tail); err != nil {
+				t.Fatal(err)
+			}
+			if err := fd.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			extra := buildSegment(t, [][]uint64{{9, 10, 11}}, []string{"late"}, sketchK, bitmat.DenseAuto)
+			if err := AppendSegment(path, extra, 64, sketchK); err != nil {
+				t.Fatalf("sketchK=%d tail=%dB: AppendSegment: %v", sketchK, len(tail), err)
+			}
+			got, err := LoadFile(path)
+			if err != nil {
+				t.Fatalf("sketchK=%d tail=%dB: LoadFile after append: %v", sketchK, len(tail), err)
+			}
+			want := &File{B: 64, SketchK: sketchK, Segments: append(append([]*Segment{}, f.Segments...), extra)}
+			checkEqual(t, got, want)
+		}
+	}
+}
+
 func TestDecodeRejectsCorruption(t *testing.T) {
 	valid := encode(t, fixtureFile(t, 4))
 	mutate := func(off int, b byte) []byte {
