@@ -1,7 +1,21 @@
-.PHONY: build test race bench benchcheck examples fuzz
+.PHONY: build test race bench benchcheck examples fuzz lint
 
 build:
 	go build ./...
+
+# lint is the repo's zero-findings gate: gofmt, standard vet, and the five
+# repo-specific gaslint analyzers (unsafecast, panicfree, ctxflow,
+# errclose, maprange — see docs/static_analysis.md). gaslint runs twice on
+# purpose: once under `go vet -vettool=` (the same driver CI and editors
+# use) and once standalone, so a vettool-protocol regression cannot
+# silently skip the analyzers.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; echo "$$out"; exit 1; fi
+	go vet ./...
+	go build -o bin/gaslint ./cmd/gaslint
+	go vet -vettool=bin/gaslint ./...
+	go run ./cmd/gaslint ./...
 
 # examples go-runs every examples/ program (all are self-contained on tiny
 # synthetic inputs) so façade drift breaks CI instead of silently rotting

@@ -331,7 +331,7 @@ func BenchmarkPackedGramKernelWorkers(b *testing.B) {
 	packed := kernelProxy(2, 8000, 256, 400)
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			acc := sparse.NewDense[int64](packed.Cols, packed.Cols)
+			acc := sparse.MustDense[int64](packed.Cols, packed.Cols)
 			for i := 0; i < b.N; i++ {
 				packed.GramAccumulateWorkers(acc, workers)
 			}
@@ -346,14 +346,14 @@ func BenchmarkPackedGramKernelWorkers(b *testing.B) {
 // log.
 func BenchmarkGramKernelSpeedupWorkers4(b *testing.B) {
 	packed := kernelProxy(2, 8000, 256, 400)
-	serialAcc := sparse.NewDense[int64](packed.Cols, packed.Cols)
-	parAcc := sparse.NewDense[int64](packed.Cols, packed.Cols)
+	serialAcc := sparse.MustDense[int64](packed.Cols, packed.Cols)
+	parAcc := sparse.MustDense[int64](packed.Cols, packed.Cols)
 	// Warm both kernels (and the packed matrix's cache residency) before
 	// timing, so the single-sample CI smoke run (-benchtime 1x) does not
 	// charge the cold-start cost to whichever variant runs first.
 	packed.GramAccumulateWorkers(serialAcc, 1)
 	packed.GramAccumulateWorkers(parAcc, 4)
-	serialAcc, parAcc = sparse.NewDense[int64](packed.Cols, packed.Cols), sparse.NewDense[int64](packed.Cols, packed.Cols)
+	serialAcc, parAcc = sparse.MustDense[int64](packed.Cols, packed.Cols), sparse.MustDense[int64](packed.Cols, packed.Cols)
 	var serial, parallel time.Duration
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -420,7 +420,7 @@ func BenchmarkHybridGramDensitySweep(b *testing.B) {
 					if withArena {
 						arena = bitmat.NewArena()
 					}
-					acc := sparse.NewDense[int64](cols, cols)
+					acc := sparse.MustDense[int64](cols, cols)
 					wordRows := (rows + 63) / 64
 					cycle := func() {
 						packed := bitmat.FromEntriesThresholdArena(entries, wordRows, cols, 64, rows, mode.threshold, arena)
@@ -450,8 +450,8 @@ func BenchmarkHybridGramDensitySweep(b *testing.B) {
 func BenchmarkDenseKernelSpeedup90(b *testing.B) {
 	sparsePacked := kernelProxyOccupancy(12, 16384, 128, 0.9, bitmat.DenseNever)
 	densePacked := kernelProxyOccupancy(12, 16384, 128, 0.9, 1)
-	sparseAcc := sparse.NewDense[int64](sparsePacked.Cols, sparsePacked.Cols)
-	denseAcc := sparse.NewDense[int64](densePacked.Cols, densePacked.Cols)
+	sparseAcc := sparse.MustDense[int64](sparsePacked.Cols, sparsePacked.Cols)
+	denseAcc := sparse.MustDense[int64](densePacked.Cols, densePacked.Cols)
 	// Warm both kernels so the single-sample CI smoke run does not charge
 	// cold-start costs to whichever variant runs first.
 	sparsePacked.GramAccumulateWorkers(sparseAcc, 1)
@@ -479,7 +479,7 @@ func BenchmarkDenseKernelSpeedup90(b *testing.B) {
 
 func BenchmarkUncompressedGramReference(b *testing.B) {
 	rng := synth.NewRNG(2)
-	coo := sparse.NewCOO[int64](4000, 160)
+	coo := sparse.MustCOO[int64](4000, 160)
 	for j := 0; j < 160; j++ {
 		for k := 0; k < 200; k++ {
 			coo.Append(rng.Intn(4000), j, 1)

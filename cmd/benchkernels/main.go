@@ -252,7 +252,7 @@ func run(args []string, out io.Writer) error {
 		var serialSparseNs float64
 		for _, pol := range policies {
 			packed := buildPacked(7, *rows, *cols, occ, pol.threshold)
-			acc := sparse.NewDense[int64](packed.Cols, packed.Cols)
+			acc := sparse.MustDense[int64](packed.Cols, packed.Cols)
 			for _, workers := range workerDim {
 				w := workers
 				ns := measure(*minTime, func() { packed.GramAccumulateWorkers(acc, w) })
@@ -278,7 +278,11 @@ func run(args []string, out io.Writer) error {
 	}
 
 	art.Dispatch = measureDispatch(out, *minTime, *rows, *cols)
-	art.Arena = measureArena(out, *rows, *cols)
+	arena, err := measureArena(out, *rows, *cols)
+	if err != nil {
+		return err
+	}
+	art.Arena = arena
 
 	tuned, err := measureAutotune(out, *quick)
 	if err != nil {
@@ -322,7 +326,7 @@ func run(args []string, out io.Writer) error {
 func measureDispatch(out io.Writer, minTime time.Duration, rows, cols int) *dispatchResult {
 	const occ = 0.9
 	packed := buildPacked(13, rows, cols, occ, 1)
-	acc := sparse.NewDense[int64](packed.Cols, packed.Cols)
+	acc := sparse.MustDense[int64](packed.Cols, packed.Cols)
 
 	bitutil.ForcePortable()
 	portableNs := measure(minTime, func() { packed.GramAccumulateWorkers(acc, 1) })
@@ -347,20 +351,23 @@ func measureDispatch(out io.Writer, minTime time.Duration, rows, cols int) *disp
 // cycle — the steady state of the engine's batch loop — with and without
 // the slab arena. Cycles are warmed first so the arena's free lists are
 // populated, then mallocs are read around a fixed cycle count.
-func measureArena(out io.Writer, rows, cols int) *arenaResult {
+func measureArena(out io.Writer, rows, cols int) (*arenaResult, error) {
 	packed := buildPacked(17, rows, cols, 0.25, bitmat.DenseAuto)
 	entries := packed.Entries()
 	wordRows := packed.WordRows
-	acc := sparse.NewDense[int64](cols, cols)
+	acc := sparse.MustDense[int64](cols, cols)
 	ctx := context.Background()
 
 	// workers=1 keeps the cycle on the serial kernel: goroutine spawning
 	// would otherwise dominate the allocation count and hide the arena's
-	// effect on the buffer churn.
+	// effect on the buffer churn. The Gram error (only a cancelled ctx can
+	// produce one here) is captured rather than panicking so the bench exits
+	// with a diagnostic.
+	var cycleErr error
 	cycle := func(arena *bitmat.Arena) {
 		p := bitmat.FromEntriesThresholdArena(entries, wordRows, cols, 64, rows, bitmat.DenseAuto, arena)
-		if err := p.GramAccumulateCtxArena(ctx, acc, 1, arena); err != nil {
-			panic(err)
+		if err := p.GramAccumulateCtxArena(ctx, acc, 1, arena); err != nil && cycleErr == nil {
+			cycleErr = err
 		}
 		p.Release()
 	}
@@ -384,6 +391,9 @@ func measureArena(out io.Writer, rows, cols int) *arenaResult {
 		AllocsPlain: allocsPer(nil),
 		AllocsArena: allocsPer(bitmat.NewArena()),
 	}
+	if cycleErr != nil {
+		return nil, cycleErr
+	}
 	if res.AllocsArena > 0 {
 		res.Reduction = res.AllocsPlain / res.AllocsArena
 	} else {
@@ -393,7 +403,7 @@ func measureArena(out io.Writer, rows, cols int) *arenaResult {
 	}
 	fmt.Fprintf(out, "slab arena (%d entries/cycle): %.1f allocs/cycle plain, %.1f with arena, %.0fx fewer\n",
 		res.Entries, res.AllocsPlain, res.AllocsArena, res.Reduction)
-	return res
+	return res, nil
 }
 
 // measureAutotune runs the full sequential pipeline on one synthetic
@@ -792,10 +802,13 @@ func measureQuery(out io.Writer, minTime time.Duration, quick bool) (*queryResul
 		qi++
 		return q
 	}
+	// Query errors are captured (first one wins) rather than panicking so
+	// the bench reports a diagnostic instead of a stack trace.
+	var queryErr error
 	runQuery := func(opts index.QueryOptions) func() {
 		return func() {
-			if _, err := corpus.Query(ctx, nextQuery(), opts); err != nil {
-				panic(err)
+			if _, err := corpus.Query(ctx, nextQuery(), opts); err != nil && queryErr == nil {
+				queryErr = err
 			}
 		}
 	}
@@ -805,6 +818,9 @@ func measureQuery(out io.Writer, minTime time.Duration, quick bool) (*queryResul
 	before := corpus.Counters()
 	gatedNs := measure(minTime, runQuery(index.QueryOptions{Threshold: tau, Workers: 1}))
 	after := corpus.Counters()
+	if queryErr != nil {
+		return nil, queryErr
+	}
 
 	res := &queryResult{
 		Samples:         n,

@@ -1,0 +1,35 @@
+// Command gaslint is the repo-invariant static analysis suite: five
+// analyzers enforcing the conventions the compiler cannot see.
+//
+// Standalone over package patterns:
+//
+//	gaslint ./...
+//
+// Or as the vet tool, sharing one CI step with the standard vet suite:
+//
+//	go vet -vettool=$(command -v gaslint) ./...
+//
+// Exit status is 0 on a clean tree, 2 with findings on stderr. Every
+// exemption is an annotation with a mandatory reason — //gas:invariant,
+// //gas:unordered, //gas:unsafe, //gas:detached — documented in
+// docs/static_analysis.md.
+package main
+
+import (
+	"genomeatscale/internal/analysis"
+	"genomeatscale/internal/analysis/ctxflow"
+	"genomeatscale/internal/analysis/errclose"
+	"genomeatscale/internal/analysis/maprange"
+	"genomeatscale/internal/analysis/panicfree"
+	"genomeatscale/internal/analysis/unsafecast"
+)
+
+func main() {
+	analysis.Main(
+		unsafecast.Analyzer,
+		panicfree.Analyzer,
+		ctxflow.Analyzer,
+		errclose.Analyzer,
+		maprange.Analyzer,
+	)
+}

@@ -123,6 +123,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	// Shutdown closes the listener and waits for in-flight requests; it
 	// does not cancel their contexts, so admitted queries run to
 	// completion within the drain budget.
+	//gas:detached the run ctx is already cancelled here (SIGTERM); the drain deadline must outlive it or Shutdown would return immediately
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

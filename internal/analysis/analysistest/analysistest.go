@@ -1,0 +1,175 @@
+// Package analysistest runs a gaslint analyzer over a testdata package
+// and compares its findings against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the stdlib-only
+// framework in internal/analysis.
+//
+// Testdata layout follows the x/tools convention:
+//
+//	<analyzer>/testdata/src/<pkg>/*.go
+//
+// A line expecting findings carries one `// want` comment with one quoted
+// or backquoted regular expression per expected diagnostic:
+//
+//	f.Close() // want `Close error discarded`
+//
+// Every diagnostic must match an expectation on its line and every
+// expectation must be matched, so both false positives and false
+// negatives fail the test — including the annotation escape hatches
+// (//gas:invariant and friends), which are exercised as negative cases.
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"genomeatscale/internal/analysis"
+)
+
+// Run analyzes each testdata package with a and reports mismatches
+// between findings and // want expectations as test failures.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runPkg(t, testdata, a, pkg)
+	}
+}
+
+// TestData returns the canonical testdata directory of the calling
+// test's package.
+func TestData() string {
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err) //gas:invariant test-only harness; no testdata directory means the test cannot run at all
+	}
+	return abs
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+func runPkg(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no testdata sources in %s: %v", dir, err)
+	}
+	sort.Strings(matches)
+
+	imports, err := collectImports(matches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exports, err := analysis.ListExports(imports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := analysis.CheckFiles(pkg, dir, matches, exports)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkg, err)
+	}
+	diags, err := analysis.RunPackage(loaded, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+	}
+
+	want, err := parseExpectations(matches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if !claim(want, d) {
+			t.Errorf("%s: unexpected finding: %s", pkg, d)
+		}
+	}
+	for _, w := range want {
+		if !w.hit {
+			t.Errorf("%s: %s:%d: expected finding matching %q, got none", pkg, filepath.Base(w.file), w.line, w.text)
+		}
+	}
+}
+
+func claim(want []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range want {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectImports(files []string) ([]string, error) {
+	seen := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			seen[path] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for path := range seen {
+		out = append(out, path)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// wantArg matches one backquoted or double-quoted expectation.
+var wantArg = regexp.MustCompile("^\\s*(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+func parseExpectations(files []string) ([]*expectation, error) {
+	var out []*expectation
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, rest, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for {
+				m := wantArg.FindStringSubmatch(rest)
+				if m == nil {
+					break
+				}
+				rest = rest[len(m[0]):]
+				var text string
+				if m[1][0] == '`' {
+					text = m[1][1 : len(m[1])-1]
+				} else if text, err = strconv.Unquote(m[1]); err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want string %s: %w", name, i+1, m[1], err)
+				}
+				re, err := regexp.Compile(text)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp: %w", name, i+1, err)
+				}
+				out = append(out, &expectation{file: name, line: i + 1, re: re, text: text})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+// Package ctx exercises the ctxflow analyzer: context re-minting and
+// ctx-less sibling calls inside context-receiving functions.
+package ctx
+
+import "context"
+
+// Leaf consumes a context properly.
+func Leaf(ctx context.Context) error { return ctx.Err() }
+
+// Work / WorkCtx form a ctx-less/ctx-ful sibling pair.
+func Work(n int) int { return n }
+
+// WorkCtx is the cancellable variant of Work.
+func WorkCtx(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// Good threads the caller's context.
+func Good(ctx context.Context) int {
+	return WorkCtx(ctx, 1)
+}
+
+// MintsBackground severs the caller's cancellation.
+func MintsBackground(ctx context.Context) context.Context {
+	return context.Background() // want `context.Background\(\) inside a function that receives a context`
+}
+
+// MintsTODO severs it with TODO.
+func MintsTODO(ctx context.Context) error {
+	return Leaf(context.TODO()) // want `context.TODO\(\) inside a function that receives a context`
+}
+
+// NilGuard is the allowed public-API-boundary idiom.
+func NilGuard(ctx context.Context) int {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return WorkCtx(ctx, 1)
+}
+
+// CallsSibling drops cancellation on the floor: WorkCtx exists.
+func CallsSibling(ctx context.Context) int {
+	return Work(1) // want `calling Work while holding a context: use the WorkCtx sibling`
+}
+
+// Detached documents an intentional escape.
+func Detached(ctx context.Context) int {
+	//gas:detached fire-and-forget cleanup must outlive the request
+	return Work(1)
+}
+
+// NoCtx has no context parameter, so neither rule applies.
+func NoCtx() int {
+	_ = context.Background()
+	return Work(1)
+}
+
+// T has a Run/RunCtx method sibling pair.
+type T struct{}
+
+// Run is the ctx-less variant.
+func (T) Run() {}
+
+// RunCtx is the cancellable variant.
+func (T) RunCtx(ctx context.Context) { _ = ctx.Err() }
+
+// MethodSibling must call RunCtx.
+func MethodSibling(ctx context.Context, t T) {
+	t.Run() // want `calling Run while holding a context: use the RunCtx sibling`
+}
+
+// Closure inherits the obligation from the enclosing function's ctx.
+func Closure(ctx context.Context) func() int {
+	return func() int {
+		return Work(2) // want `calling Work while holding a context`
+	}
+}

@@ -1,0 +1,223 @@
+// Package errclose defines the gaslint analyzer that surfaces write-back
+// errors.
+//
+// On a full disk the failure often arrives only at Close/Sync/Flush time,
+// after every Write succeeded against the page cache; discarding those
+// errors silently truncates results. The analyzer enforces the
+// samplefile/indexfile write-back discipline:
+//
+//   - the error of Close or Sync on a file opened writable in the same
+//     function (os.Create, or os.OpenFile with a write flag) must not be
+//     discarded, deferred or not — use the named-return defer-closure
+//     idiom (see samplefile.WriteText) or check inline;
+//   - a discarded Sync or Flush error is a finding everywhere: both
+//     methods exist only to push buffered writes down;
+//   - in the serialization layers (configurable package scope), a
+//     discarded (io.Writer).Write / WriteString error is a finding.
+//
+// Read-path `defer f.Close()` on os.Open'd files is conventional and not
+// flagged. Test files are exempt.
+package errclose
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"genomeatscale/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errclose",
+	Doc: `Close/Sync/Flush and serialization-layer Write errors must be checked
+
+A discarded error from Close/Sync on a file opened writable in the same
+function, from any Sync/Flush, or from Write/WriteString in the
+configured serialization packages, is a finding.`,
+	Run: run,
+}
+
+// writePkgs scopes the Write/WriteString rule: comma-separated package
+// path fragments. The default covers the repo's output serialization
+// layers, where every byte lost is result data.
+var writePkgs string
+
+func init() {
+	Analyzer.Flags.StringVar(&writePkgs,
+		"pkgs", "internal/output,internal/samplefile,internal/index/indexfile",
+		"comma-separated package path fragments where discarded Write errors are findings")
+}
+
+var writeFlagNames = map[string]bool{
+	"O_WRONLY": true, "O_RDWR": true, "O_APPEND": true,
+	"O_CREATE": true, "O_TRUNC": true,
+}
+
+func run(pass *analysis.Pass) error {
+	checkWrites := false
+	for _, frag := range strings.Split(writePkgs, ",") {
+		if frag != "" && strings.Contains(pass.Pkg.Path(), strings.TrimSpace(frag)) {
+			checkWrites = true
+		}
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Package) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body, checkWrites)
+				}
+				return false
+			case *ast.FuncLit:
+				checkFunc(pass, fn.Body, checkWrites)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc analyzes one function body. Nested function literals are
+// visited by the caller's walk, but writable-file tracking is per
+// function: a closure closing over an outer writable file is checked
+// against the outer function's tracked set only when the discard happens
+// syntactically inside the outer body walk, which Inspect guarantees —
+// the nested literal's statements are part of the outer body's tree.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, checkWrites bool) {
+	writable := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			trackWritable(pass, stmt, writable)
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok {
+				checkDiscard(pass, call, writable, checkWrites, false)
+			}
+		case *ast.DeferStmt:
+			checkDiscard(pass, stmt.Call, writable, checkWrites, true)
+		case *ast.GoStmt:
+			checkDiscard(pass, stmt.Call, writable, checkWrites, true)
+		}
+		return true
+	})
+}
+
+// trackWritable records variables bound to a writable *os.File:
+// `f, err := os.Create(...)` or `f, err := os.OpenFile(path, flags, perm)`
+// whose flags expression mentions a write flag.
+func trackWritable(pass *analysis.Pass, stmt *ast.AssignStmt, writable map[types.Object]bool) {
+	if len(stmt.Rhs) != 1 || len(stmt.Lhs) == 0 {
+		return
+	}
+	call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	isWritableOpen := analysis.PkgFunc(pass.TypesInfo, call, "os", "Create") ||
+		analysis.PkgFunc(pass.TypesInfo, call, "os", "OpenFile") && hasWriteFlag(call)
+	if !isWritableOpen {
+		return
+	}
+	id, ok := stmt.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		writable[obj] = true
+	} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		writable[obj] = true
+	}
+}
+
+func hasWriteFlag(call *ast.CallExpr) bool {
+	if len(call.Args) < 2 {
+		return false
+	}
+	found := false
+	ast.Inspect(call.Args[1], func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && writeFlagNames[id.Name] {
+			found = true
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok && writeFlagNames[sel.Sel.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkDiscard reports a call used as a bare statement (or defer/go call)
+// that throws away a write-back error.
+func checkDiscard(pass *analysis.Pass, call *ast.CallExpr, writable map[types.Object]bool, checkWrites, deferred bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !returnsError(sig) {
+		return
+	}
+	name := fn.Name()
+	switch name {
+	case "Sync", "Flush":
+		pass.Reportf(call.Pos(), "%s error discarded: %s exists to push buffered writes down, a full disk fails here", name, name)
+	case "Close":
+		if recvObj(pass, sel.X) != nil && writable[recvObj(pass, sel.X)] {
+			how := "checked"
+			if deferred {
+				how = "checked via the named-return defer-closure idiom (see samplefile.WriteText)"
+			}
+			pass.Reportf(call.Pos(), "Close error discarded on a file opened writable in this function: write-back failures surface at close time and must be %s", how)
+		}
+	case "Write", "WriteString":
+		if checkWrites && isWriterLike(sig, name) {
+			pass.Reportf(call.Pos(), "%s error discarded in a serialization layer: lost bytes here are lost result data", name)
+		}
+	}
+}
+
+func recvObj(pass *analysis.Pass, recv ast.Expr) types.Object {
+	id, ok := ast.Unparen(recv).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	return types.Identical(res.At(res.Len()-1).Type(), types.Universe.Lookup("error").Type())
+}
+
+// isWriterLike matches the io.Writer / io.StringWriter method shapes.
+func isWriterLike(sig *types.Signature, name string) bool {
+	params := sig.Params()
+	res := sig.Results()
+	if params.Len() != 1 || res.Len() != 2 {
+		return false
+	}
+	switch name {
+	case "Write":
+		sl, ok := params.At(0).Type().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	case "WriteString":
+		b, ok := params.At(0).Type().(*types.Basic)
+		return ok && b.Kind() == types.String
+	}
+	return false
+}

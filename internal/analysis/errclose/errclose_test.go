@@ -1,0 +1,25 @@
+package errclose_test
+
+import (
+	"testing"
+
+	"genomeatscale/internal/analysis/analysistest"
+	"genomeatscale/internal/analysis/errclose"
+)
+
+func TestErrclose(t *testing.T) {
+	// Place the "closes" testdata package inside the serialization
+	// scope so the Write/WriteString rule applies there; "readerly"
+	// stays outside it.
+	flag := errclose.Analyzer.Flags.Lookup("pkgs")
+	old := flag.Value.String()
+	if err := flag.Value.Set(old + ",closes"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := flag.Value.Set(old); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	analysistest.Run(t, analysistest.TestData(), errclose.Analyzer, "closes", "readerly")
+}

@@ -1,0 +1,74 @@
+// Package closes exercises the errclose analyzer: discarded write-back
+// errors on writable files, Sync/Flush discards, and serialization-layer
+// Write discards (this package is placed in scope by the test).
+package closes
+
+import (
+	"bufio"
+	"os"
+)
+
+// DeferUnchecked loses the close error of a created file.
+func DeferUnchecked(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `Close error discarded on a file opened writable`
+	_, err = f.WriteString("data")
+	return err
+}
+
+// InlineUnchecked loses it without a defer.
+func InlineUnchecked(path string) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return
+	}
+	f.Close() // want `Close error discarded on a file opened writable`
+}
+
+// ReadPathOK: deferred close on a read-only file is conventional.
+func ReadPathOK(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return err
+}
+
+// Idiom is the blessed write-back shape: the named return surfaces the
+// close error when nothing earlier failed.
+func Idiom(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.WriteString("data")
+	return err
+}
+
+// FlushDiscard: Flush exists only to push buffered writes down.
+func FlushDiscard(w *bufio.Writer) {
+	w.Flush() // want `Flush error discarded`
+}
+
+// SyncDiscard: likewise for fsync.
+func SyncDiscard(f *os.File) {
+	f.Sync() // want `Sync error discarded`
+}
+
+// WriteDiscard is a finding only in serialization-layer packages.
+func WriteDiscard(w *bufio.Writer) {
+	w.Write([]byte("x"))      // want `Write error discarded in a serialization layer`
+	w.WriteString("y")        // want `WriteString error discarded in a serialization layer`
+	_, _ = w.Write([]byte{1}) // explicit discard is visible in review and allowed
+}

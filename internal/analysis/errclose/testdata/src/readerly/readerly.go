@@ -1,0 +1,24 @@
+// Package readerly exercises the errclose analyzer outside the
+// serialization scope: Write discards are not findings here, writable
+// close discards still are.
+package readerly
+
+import (
+	"bufio"
+	"os"
+)
+
+// LogLine: Write discards outside the scoped layers are tolerated.
+func LogLine(w *bufio.Writer) {
+	w.WriteString("progress\n")
+}
+
+// StillChecked: the writable-close rule is scope-independent.
+func StillChecked(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `Close error discarded on a file opened writable`
+	return nil
+}

@@ -1,0 +1,177 @@
+// Package maprange defines the gaslint analyzer that keeps serialization
+// deterministic.
+//
+// Go randomizes map iteration order. In most code that is harmless, but
+// at the wire/index/output boundary it turns byte-identical equivalence
+// guarantees (distributed = sequential, TCP = in-process, served top-k =
+// batch top-k) into flaky ones. In the configured serialization packages,
+// every `range` over a map is a finding unless it follows the
+// collect-then-sort idiom —
+//
+//	for k := range m {
+//	        keys = append(keys, k)
+//	}
+//	sort.Strings(keys)
+//
+// — or is annotated //gas:unordered <reason> (for genuinely
+// order-insensitive folds such as building a set union that is sorted
+// downstream). Test files are exempt.
+package maprange
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"genomeatscale/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maprange",
+	Doc: `map iteration feeding serialization must be sorted or annotated
+
+In the configured packages (the wire codec, output writers, index file
+and stats layers), ranging over a map is a finding unless the loop only
+collects keys that are subsequently sorted, or carries
+//gas:unordered <reason>.`,
+	Run: run,
+}
+
+// scopePkgs lists package path fragments where iteration order reaches
+// serialized bytes: the dist wire codec, the output writers, the index
+// file format, the stats/CLI JSON emitters, and every cmd/ tool.
+var scopePkgs string
+
+func init() {
+	Analyzer.Flags.StringVar(&scopePkgs,
+		"pkgs", "internal/dist,internal/output,internal/index,internal/cliutil,internal/stats,genomeatscale/cmd/",
+		"comma-separated package path fragments whose map ranges must be deterministic")
+}
+
+func run(pass *analysis.Pass) error {
+	inScope := false
+	for _, frag := range strings.Split(scopePkgs, ",") {
+		if frag = strings.TrimSpace(frag); frag != "" && strings.Contains(pass.Pkg.Path(), frag) {
+			inScope = true
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Package) {
+			continue
+		}
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.Types[rng.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if _, ok := pass.Annotation(rng.Pos(), "unordered"); ok {
+				return true
+			}
+			if collectThenSort(pass, rng, stack) {
+				return true
+			}
+			pass.Reportf(rng.Pos(), "map iteration order reaches serialized output: collect keys and sort (see docs/static_analysis.md), or annotate //gas:unordered <reason>")
+			return true
+		})
+	}
+	return nil
+}
+
+// collectThenSort recognizes the sorted-iteration idiom: the loop body is
+// exactly one `s = append(s, ...)` statement, and the enclosing function
+// later sorts s with sort.* or slices.Sort*.
+func collectThenSort(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node) bool {
+	var stmts []ast.Stmt
+	for _, s := range rng.Body.List {
+		if _, ok := s.(*ast.EmptyStmt); !ok {
+			stmts = append(stmts, s)
+		}
+	}
+	if len(stmts) != 1 {
+		return false
+	}
+	assign, ok := stmts[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+		return false
+	}
+	collected := pass.TypesInfo.Uses[lhs]
+	if collected == nil {
+		collected = pass.TypesInfo.Defs[lhs]
+	}
+	if collected == nil {
+		return false
+	}
+
+	// Find the innermost enclosing function and look for a later sort of
+	// the collected slice.
+	var enclosing ast.Node
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			enclosing = stack[i]
+		}
+		if enclosing != nil {
+			break
+		}
+	}
+	if enclosing == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if ok && pass.TypesInfo.Uses[arg] == collected {
+			sorted = true
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		return strings.HasPrefix(fn.Name(), "Sort")
+	}
+	return false
+}

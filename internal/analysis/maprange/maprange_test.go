@@ -1,0 +1,24 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"genomeatscale/internal/analysis/analysistest"
+	"genomeatscale/internal/analysis/maprange"
+)
+
+func TestMaprange(t *testing.T) {
+	// Put the "mapscope" testdata package inside the serialization
+	// scope; "freefold" stays outside it.
+	flag := maprange.Analyzer.Flags.Lookup("pkgs")
+	old := flag.Value.String()
+	if err := flag.Value.Set(old + ",mapscope"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := flag.Value.Set(old); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	analysistest.Run(t, analysistest.TestData(), maprange.Analyzer, "mapscope", "freefold")
+}

@@ -1,0 +1,12 @@
+// Package freefold sits outside the maprange serialization scope, so
+// unordered folds are not findings here.
+package freefold
+
+// Sum folds in arbitrary order.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

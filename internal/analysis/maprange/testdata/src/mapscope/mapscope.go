@@ -1,0 +1,55 @@
+// Package mapscope exercises the maprange analyzer inside the
+// serialization scope (the test adds this package to the scope flag).
+package mapscope
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteMap streams entries in map order — nondeterministic bytes.
+func WriteMap(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches serialized output`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// CollectThenSort is the blessed idiom: collect keys, sort, then emit.
+func CollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SortSlice: sort.Slice on the collected keys also counts.
+func SortSlice(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Annotated documents a genuinely order-insensitive fold.
+func Annotated(m map[string]int) int {
+	total := 0
+	//gas:unordered summation is commutative; the total is order-independent
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// CollectNoSort collects but never sorts — still nondeterministic.
+func CollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order reaches serialized output`
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,54 @@
+// Package panicfree defines the gaslint analyzer that confines panic to
+// annotated internal invariants.
+//
+// The repo's error discipline (established in the ingestion and index
+// PRs) is: anything reachable from untrusted input — readers, parsers,
+// public API validation — returns an error; panic is reserved for
+// programmer-error invariants whose violation means the code itself is
+// wrong. Each surviving panic must say why it is one, with a
+// //gas:invariant <reason> directive on its line or the line above.
+// Test files are exempt.
+package panicfree
+
+import (
+	"go/ast"
+	"go/types"
+
+	"genomeatscale/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "panicfree",
+	Doc: `panic in non-test code must be an annotated internal invariant
+
+Untrusted-input failure paths return errors; a bare panic(...) is a
+finding unless //gas:invariant <reason> is attached to it.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Package) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+				return true
+			}
+			if _, ok := pass.Annotation(call.Pos(), "invariant"); ok {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic in library code: return an error on untrusted-input paths, or annotate a true invariant with //gas:invariant <reason>")
+			return true
+		})
+	}
+	return nil
+}

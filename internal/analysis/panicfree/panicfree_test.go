@@ -1,0 +1,12 @@
+package panicfree_test
+
+import (
+	"testing"
+
+	"genomeatscale/internal/analysis/analysistest"
+	"genomeatscale/internal/analysis/panicfree"
+)
+
+func TestPanicfree(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), panicfree.Analyzer, "panics")
+}

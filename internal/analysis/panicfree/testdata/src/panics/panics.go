@@ -1,0 +1,37 @@
+// Package panics exercises the panicfree analyzer: bare panics are
+// findings, error returns and annotated invariants are not.
+package panics
+
+import "fmt"
+
+// Validate is the blessed shape: untrusted input returns an error.
+func Validate(n int) error {
+	if n < 0 {
+		return fmt.Errorf("panics: negative %d", n)
+	}
+	return nil
+}
+
+// BadIndex panics without an annotation.
+func BadIndex(i int) {
+	panic(fmt.Sprintf("index %d", i)) // want `panic in library code`
+}
+
+// Invariant carries its justification on the line above.
+func Invariant(i int) {
+	if i < 0 {
+		//gas:invariant caller validated i at the API boundary
+		panic("negative index")
+	}
+}
+
+// Trailing carries its justification on the same line.
+func Trailing() {
+	panic("unreachable") //gas:invariant documented Must-style helper, panics only on programmer error
+}
+
+// EmptyReason shows that a reason-less annotation does not suppress.
+func EmptyReason() {
+	//gas:invariant
+	panic("x") // want `panic in library code`
+}

@@ -1,0 +1,7 @@
+package panics
+
+// Test files may panic freely: assertion helpers and harness code are
+// exempt from the panicfree discipline.
+func helperForTests() {
+	panic("test-only panic, not a finding")
+}

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig mirrors the JSON configuration file the go command passes to a
+// `go vet -vettool=` tool, one invocation per package. Fields the tool
+// does not consume are retained so the file round-trips losslessly.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point shared by cmd/gaslint's two modes:
+//
+//   - invoked by the go command (`go vet -vettool=gaslint ./...`): a
+//     single *.cfg argument, plus the -V=full and -flags handshakes the
+//     vet driver performs first;
+//   - invoked standalone (`gaslint ./...`): package patterns, loaded with
+//     the build-cache loader.
+//
+// Both modes exit 0 when the tree is clean and non-zero with findings on
+// stderr otherwise, so either one can gate CI.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	if len(os.Args) == 2 {
+		switch {
+		case strings.HasPrefix(os.Args[1], "-V="):
+			// The go command fingerprints the tool for its action
+			// cache; the output format follows x/tools unitchecker.
+			if os.Args[1] == "-V=full" {
+				fmt.Printf("%s version devel buildID=%x\n", progname, selfDigest())
+			} else {
+				fmt.Printf("%s version devel\n", progname)
+			}
+			return
+		case os.Args[1] == "-flags":
+			// The go command asks which -<analyzer>.<flag> options the
+			// tool accepts before forwarding any.
+			printFlagDefs(analyzers)
+			return
+		}
+	}
+
+	registerFlags(analyzers)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] packages...\n", progname)
+		fmt.Fprintf(os.Stderr, "       %s file.cfg  (go vet -vettool mode)\n\n", progname)
+		for _, a := range analyzers {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, doc)
+		}
+		fmt.Fprintf(os.Stderr, "\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		diags, err := runVetCfg(args[0], analyzers)
+		exitWith(progname, diags, err)
+	}
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	pkgs, err := Load(args...)
+	if err != nil {
+		exitWith(progname, nil, err)
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := RunPackage(pkg, analyzers)
+		if err != nil {
+			exitWith(progname, nil, err)
+		}
+		diags = append(diags, ds...)
+	}
+	SortDiagnostics(diags)
+	exitWith(progname, diags, nil)
+}
+
+// runVetCfg analyzes the single package described by a go vet config file.
+func runVetCfg(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", cfgPath, err)
+	}
+	// The go command requires an output file regardless of findings; the
+	// tool exports no facts, so the file is an empty placeholder.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+	fset := token.NewFileSet()
+	imp := newCacheImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	pkg, err := checkPackage(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return RunPackage(pkg, analyzers)
+}
+
+func exitWith(progname string, diags []Diagnostic, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// registerFlags exposes each analyzer's flags as -<analyzer>.<flag>.
+func registerFlags(analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			flag.Var(f.Value, a.Name+"."+f.Name, f.Usage)
+		})
+	}
+}
+
+// printFlagDefs answers the go command's -flags query with the JSON shape
+// it expects: a list of {Name, Bool, Usage} objects.
+func printFlagDefs(analyzers []*Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var defs []jsonFlag
+	for _, a := range analyzers {
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			b, ok := f.Value.(interface{ IsBoolFlag() bool })
+			defs = append(defs, jsonFlag{
+				Name:  a.Name + "." + f.Name,
+				Bool:  ok && b.IsBoolFlag(),
+				Usage: f.Usage,
+			})
+		})
+	}
+	data, err := json.Marshal(defs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// selfDigest hashes the executable so the go command's cache key changes
+// whenever the tool is rebuilt.
+func selfDigest() []byte {
+	exe, err := os.Executable()
+	if err != nil {
+		return []byte("unknown")
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return []byte("unknown")
+	}
+	sum := sha256.Sum256(data)
+	return sum[:]
+}

@@ -1,0 +1,38 @@
+// Package caster exercises the unsafecast analyzer inside an
+// allowlisted cast file: guard-dominated uses and the endianness probe
+// itself are clean, unguarded uses need an annotation.
+package caster
+
+import "unsafe"
+
+// hostLittleEndian probes the byte order once; the probe is part of the
+// guard discipline and exempt.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// CastU64 reinterprets b as a uint64 slice when byte order and
+// alignment allow it — the blessed guarded shape.
+func CastU64(b []byte) []uint64 {
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	return nil
+}
+
+// Unguarded reinterprets without the endianness+alignment check.
+func Unguarded(u []uint64) []int64 {
+	return *(*[]int64)(unsafe.Pointer(&u)) // want `unsafe\.Pointer not dominated by an endianness\+alignment guard`
+}
+
+// Annotated documents an endianness-independent reinterpret.
+func Annotated(u []uint64) []int64 {
+	//gas:unsafe same-width reinterpret of an already-adopted slice; element bytes are untouched
+	return *(*[]int64)(unsafe.Pointer(&u))
+}
+
+// SizeofOK: pure compile-time arithmetic is always allowed.
+func SizeofOK() uintptr {
+	return unsafe.Sizeof(uint64(0))
+}

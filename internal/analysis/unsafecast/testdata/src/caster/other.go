@@ -1,0 +1,13 @@
+package caster
+
+import "unsafe"
+
+// AddrOf uses unsafe outside the allowlisted cast file.
+func AddrOf(p *int) uintptr {
+	return uintptr(unsafe.Pointer(p)) // want `unsafe\.Pointer outside an allowlisted cast file`
+}
+
+// SizeOK: Sizeof is pure and allowed anywhere.
+func SizeOK() uintptr {
+	return unsafe.Sizeof(int64(0))
+}

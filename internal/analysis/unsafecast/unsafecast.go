@@ -1,0 +1,171 @@
+// Package unsafecast defines the gaslint analyzer that fences zero-copy
+// unsafe adoption.
+//
+// The index file format serves mmap'd payloads straight from the page
+// cache by reinterpreting byte slices as word slices — legal only on a
+// host whose byte order matches the file's and only at the file's
+// alignment guarantees. The analyzer confines the dangerous unsafe
+// surface (Pointer, Slice, SliceData, String, StringData, Add) to
+// allowlisted cast files (cast.go by default), and inside those requires
+// each use to be dominated by an endianness+alignment guard:
+//
+//	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+//	        return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), n)
+//	}
+//
+// Uses inside the guard's own condition (the alignment probe) and inside
+// the declaration of the endianness guard variable itself are part of the
+// discipline and exempt. An endianness-independent use in a cast file
+// (e.g. a same-width reinterpret of an already-adopted slice) must be
+// annotated //gas:unsafe <reason>. unsafe.Sizeof/Alignof/Offsetof are
+// pure and always allowed. Test files are exempt.
+package unsafecast
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"genomeatscale/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "unsafecast",
+	Doc: `unsafe zero-copy casts only in allowlisted files, behind endianness+alignment guards
+
+unsafe.Pointer/Slice/SliceData/String/StringData/Add outside an
+allowlisted cast file, or inside one but not dominated by an
+endianness+alignment guard (and not annotated //gas:unsafe <reason>), is
+a finding.`,
+	Run: run,
+}
+
+// allowFiles lists base filenames where unsafe adoption is permitted.
+var allowFiles string
+
+func init() {
+	Analyzer.Flags.StringVar(&allowFiles,
+		"files", "cast.go",
+		"comma-separated base filenames allowed to contain unsafe casts")
+}
+
+var dangerous = map[string]bool{
+	"Pointer": true, "Slice": true, "SliceData": true,
+	"String": true, "StringData": true, "Add": true,
+}
+
+func run(pass *analysis.Pass) error {
+	allowed := make(map[string]bool)
+	for _, name := range strings.Split(allowFiles, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			allowed[name] = true
+		}
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Package) {
+			continue
+		}
+		fileAllowed := allowed[pass.Filename(f.Package)]
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !isUnsafeSel(pass, sel) || !dangerous[sel.Sel.Name] {
+				return true
+			}
+			if !fileAllowed {
+				pass.Reportf(sel.Pos(), "unsafe.%s outside an allowlisted cast file: move zero-copy adoption into %s alongside its guards", sel.Sel.Name, allowFiles)
+				return true
+			}
+			if dominatedByGuard(stack, n) || inGuardVarDecl(stack) {
+				return true
+			}
+			if _, ok := pass.Annotation(sel.Pos(), "unsafe"); ok {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "unsafe.%s not dominated by an endianness+alignment guard: wrap it in `if <endianness> && <addr>%%<align> == 0` or annotate //gas:unsafe <reason>", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+func isUnsafeSel(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "unsafe"
+}
+
+// endiannessIdent matches identifiers that carry the byte-order guard:
+// hostLittleEndian, isBigEndian, byteOrderMatches, ...
+func endiannessIdent(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			lower := strings.ToLower(id.Name)
+			if strings.Contains(lower, "littleendian") ||
+				strings.Contains(lower, "bigendian") ||
+				strings.Contains(lower, "byteorder") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func alignmentCheck(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok && be.Op == token.REM {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// dominatedByGuard reports whether some enclosing if statement's condition
+// names the endianness guard and performs an alignment check; uses inside
+// that condition itself (the alignment probe takes the address it tests)
+// count as guarded.
+func dominatedByGuard(stack []ast.Node, n ast.Node) bool {
+	for _, anc := range stack {
+		ifStmt, ok := anc.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if endiannessIdent(ifStmt.Cond) && alignmentCheck(ifStmt.Cond) {
+			return true
+		}
+	}
+	return false
+}
+
+// inGuardVarDecl reports whether the use sits in the initializer of the
+// endianness guard variable itself — the probe that makes every other
+// guard meaningful, e.g.
+//
+//	var hostLittleEndian = func() bool {
+//	        x := uint16(1)
+//	        return *(*byte)(unsafe.Pointer(&x)) == 1
+//	}()
+func inGuardVarDecl(stack []ast.Node) bool {
+	for _, anc := range stack {
+		spec, ok := anc.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range spec.Names {
+			if endiannessIdent(name) {
+				return true
+			}
+		}
+	}
+	return false
+}

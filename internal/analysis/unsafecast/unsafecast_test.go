@@ -1,0 +1,12 @@
+package unsafecast_test
+
+import (
+	"testing"
+
+	"genomeatscale/internal/analysis/analysistest"
+	"genomeatscale/internal/analysis/unsafecast"
+)
+
+func TestUnsafecast(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), unsafecast.Analyzer, "caster")
+}

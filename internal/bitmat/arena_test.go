@@ -127,7 +127,7 @@ func TestArenaSteadyStateAllocations(t *testing.T) {
 	const wordRows, cols = 32, 64
 	entries := randomPackedEntries(rng, wordRows, cols, 0.4)
 	arena := NewArena()
-	acc := sparse.NewDense[int64](cols, cols)
+	acc := sparse.MustDense[int64](cols, cols)
 	cycle := func() {
 		p := FromEntriesThresholdArena(entries, wordRows, cols, 64, wordRows*64, DenseAuto, arena)
 		if err := p.GramAccumulateCtxArena(context.Background(), acc, 1, arena); err != nil {

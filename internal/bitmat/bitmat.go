@@ -259,9 +259,11 @@ func PackColumns(rowsPerCol [][]int, activeRows, b int) *Packed {
 // (DenseAuto, DenseNever or a stored-word count).
 func PackColumnsThreshold(rowsPerCol [][]int, activeRows, b, denseThreshold int) *Packed {
 	if b <= 0 || b > 64 {
+		//gas:invariant the packing width is bounded to [1,64] by the options layer before packing; this guards direct API misuse
 		panic(fmt.Sprintf("bitmat: invalid bitmask width %d", b))
 	}
 	if activeRows < 0 {
+		//gas:invariant activeRows is a row-map length (len of a built slice), structurally non-negative
 		panic("bitmat: negative active row count")
 	}
 	cols := len(rowsPerCol)
@@ -284,9 +286,11 @@ func PackColumnsThreshold(rowsPerCol [][]int, activeRows, b, denseThreshold int)
 		}
 		for k, r := range rows {
 			if r < 0 || r >= activeRows {
+				//gas:invariant per-column rows are produced by the dataset builders against this same row space; out-of-range means a builder bug, not input
 				panic(fmt.Sprintf("bitmat: row %d out of range [0,%d)", r, activeRows))
 			}
 			if k > 0 && rows[k-1] > r {
+				//gas:invariant builders emit per-column rows sorted; unsorted input is a builder bug
 				panic("bitmat: per-column rows must be sorted")
 			}
 			w := r / b
@@ -320,7 +324,7 @@ func PackCSC[T any](a *sparse.CSC[T], b int) *Packed {
 // Unpack expands the packed matrix back to a boolean CSC matrix with
 // ActiveRows rows; used by tests to verify the packing is lossless.
 func (p *Packed) Unpack() *sparse.CSC[bool] {
-	coo := sparse.NewCOO[bool](p.ActiveRows, p.Cols)
+	coo := sparse.MustCOO[bool](p.ActiveRows, p.Cols)
 	for j := 0; j < p.Cols; j++ {
 		wordRows, words := p.Col(j)
 		for k, w := range wordRows {

@@ -12,7 +12,7 @@ import (
 
 // randomIndicator builds a random boolean indicator matrix in CSC form.
 func randomIndicator(rng *rand.Rand, rows, cols int, density float64) *sparse.CSC[bool] {
-	coo := sparse.NewCOO[bool](rows, cols)
+	coo := sparse.MustCOO[bool](rows, cols)
 	for i := 0; i < rows; i++ {
 		for j := 0; j < cols; j++ {
 			if rng.Float64() < density {
@@ -116,8 +116,8 @@ func TestGramMatchesUncompressedReference(t *testing.T) {
 		for trial := 0; trial < 10; trial++ {
 			rows := 1 + rng.Intn(150)
 			cols := 1 + rng.Intn(12)
-			coo := sparse.NewCOO[int64](rows, cols)
-			booCoo := sparse.NewCOO[bool](rows, cols)
+			coo := sparse.MustCOO[int64](rows, cols)
+			booCoo := sparse.MustCOO[bool](rows, cols)
 			for i := 0; i < rows; i++ {
 				for j := 0; j < cols; j++ {
 					if rng.Float64() < 0.2 {
@@ -143,7 +143,7 @@ func TestGramAccumulateShapePanics(t *testing.T) {
 			t.Error("expected panic")
 		}
 	}()
-	p.GramAccumulate(sparse.NewDense[int64](2, 2))
+	p.GramAccumulate(sparse.MustDense[int64](2, 2))
 }
 
 func TestColPopcounts(t *testing.T) {
@@ -200,7 +200,7 @@ func TestWordRowRangeSplitsGram(t *testing.T) {
 	csc := randomIndicator(rng, rows, cols, 0.1)
 	p := PackCSC(csc, 64)
 	full := p.Gram()
-	acc := sparse.NewDense[int64](cols, cols)
+	acc := sparse.MustDense[int64](cols, cols)
 	layers := 3
 	per := (p.WordRows + layers - 1) / layers
 	for l := 0; l < layers; l++ {

@@ -87,7 +87,7 @@ func mergePopcount(wi []int, vi []uint64, wj []int, vj []uint64) int {
 // the intersection cardinality |X_i ∩ X_j| restricted to the rows covered by
 // this batch. The result is a dense Cols×Cols matrix.
 func (p *Packed) Gram() *sparse.Dense[int64] {
-	out := sparse.NewDense[int64](p.Cols, p.Cols)
+	out := sparse.MustDense[int64](p.Cols, p.Cols)
 	p.GramAccumulate(out)
 	return out
 }
@@ -150,6 +150,7 @@ func (p *Packed) GramAccumulateMaskedCtxArena(ctx context.Context, into *sparse.
 
 func (p *Packed) gramAccumulate(ctx context.Context, into *sparse.Dense[int64], workers int, arena *Arena, mask *PairMask) error {
 	if into.Rows != p.Cols || into.Cols != p.Cols {
+		//gas:invariant the accumulator is allocated from this matrix's own Cols by every caller; a mismatch is an engine bug
 		panic(fmt.Sprintf("bitmat: Gram accumulator shape %dx%d, want %dx%d", into.Rows, into.Cols, p.Cols, p.Cols))
 	}
 	workers = par.Resolve(workers)
@@ -284,9 +285,10 @@ func GramBlock(a, b *Packed) *sparse.Dense[int64] {
 // through pairPopcount.
 func GramBlockWorkers(a, b *Packed, workers int) *sparse.Dense[int64] {
 	if a.WordRows != b.WordRows || a.B != b.B {
+		//gas:invariant both operands are column blocks of one corpus packing and share its row space by construction
 		panic(fmt.Sprintf("bitmat: GramBlock row-space mismatch (%d,%d) vs (%d,%d)", a.WordRows, a.B, b.WordRows, b.B))
 	}
-	out := sparse.NewDense[int64](a.Cols, b.Cols)
+	out := sparse.MustDense[int64](a.Cols, b.Cols)
 	workers = par.Resolve(workers)
 	if workers <= 1 || a.Cols == 0 || b.Cols == 0 {
 		gramBlockInto(a, b, out, tileSpec{0, a.Cols, 0, b.Cols})
@@ -351,6 +353,7 @@ func (p *Packed) ColPopcounts() []int64 {
 // exactly presized streams.
 func (p *Packed) ColRange(lo, hi int) *Packed {
 	if lo < 0 || hi > p.Cols || lo > hi {
+		//gas:invariant column ranges come from grid.BlockRange over this matrix's own Cols
 		panic(fmt.Sprintf("bitmat: ColRange [%d,%d) out of range for %d columns", lo, hi, p.Cols))
 	}
 	out := &Packed{
@@ -407,6 +410,7 @@ func (p *Packed) ColRange(lo, hi int) *Packed {
 // (slicing cannot increase a column's stored-word count beyond the height).
 func (p *Packed) WordRowRange(lo, hi int) *Packed {
 	if lo < 0 || hi > p.WordRows || lo > hi {
+		//gas:invariant word-row ranges come from grid.BlockRange over this matrix's own WordRows
 		panic(fmt.Sprintf("bitmat: WordRowRange [%d,%d) out of range for %d word rows", lo, hi, p.WordRows))
 	}
 	active := (hi - lo) * p.B
@@ -556,6 +560,7 @@ func FromEntriesThresholdArena(entries []PackedEntry, wordRows, cols, b, activeR
 	sorted := true
 	for i, e := range entries {
 		if e.Col < 0 || e.Col >= cols || e.WordRow < 0 || e.WordRow >= wordRows {
+			//gas:invariant entries are re-packed from an existing Packed's Entries() against the same dimensions
 			panic(fmt.Sprintf("bitmat: entry (%d,%d) out of range %dx%d", e.WordRow, e.Col, wordRows, cols))
 		}
 		if i > 0 && (e.Col < entries[i-1].Col ||

@@ -16,7 +16,7 @@ import (
 // deterministic junk, so the tests verify the kernels accumulate into (not
 // overwrite) existing contents.
 func seededAccumulator(rng *rand.Rand, n int) (*sparse.Dense[int64], *sparse.Dense[int64]) {
-	a := sparse.NewDense[int64](n, n)
+	a := sparse.MustDense[int64](n, n)
 	for i := range a.Data {
 		a.Data[i] = rng.Int63n(50)
 	}
@@ -84,7 +84,7 @@ func TestConcurrentGramAccumulateDisjointAccumulators(t *testing.T) {
 	var wg sync.WaitGroup
 	wg.Add(callers)
 	for g := 0; g < callers; g++ {
-		accs[g] = sparse.NewDense[int64](cols, cols)
+		accs[g] = sparse.MustDense[int64](cols, cols)
 		go func(acc *sparse.Dense[int64], workers int) {
 			defer wg.Done()
 			p.GramAccumulateWorkers(acc, workers)

@@ -161,7 +161,7 @@ func TestHybridKernelCrossLayoutGramBlock(t *testing.T) {
 	ref := variants["sparse"].Gram()
 	for name, v := range variants {
 		for _, workers := range []int{1, 2, 5} {
-			acc := sparse.NewDense[int64](cols, cols)
+			acc := sparse.MustDense[int64](cols, cols)
 			v.GramAccumulateWorkers(acc, workers)
 			if !sparse.Equal(ref, acc, int64Eq) {
 				t.Fatalf("GramAccumulateWorkers(%s, workers=%d) differs from sparse serial", name, workers)

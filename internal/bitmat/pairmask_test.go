@@ -33,7 +33,7 @@ func maskTestMatrix(cols int) *Packed {
 func TestGramMasked(t *testing.T) {
 	const cols = 97
 	p := maskTestMatrix(cols)
-	full := sparse.NewDense[int64](cols, cols)
+	full := sparse.MustDense[int64](cols, cols)
 	p.GramAccumulate(full)
 
 	mask := NewPairMask(cols)
@@ -51,7 +51,7 @@ func TestGramMasked(t *testing.T) {
 	}
 
 	for _, workers := range []int{1, 4} {
-		got := sparse.NewDense[int64](cols, cols)
+		got := sparse.MustDense[int64](cols, cols)
 		if err := p.GramAccumulateMaskedCtxArena(context.Background(), got, workers, nil, mask); err != nil {
 			t.Fatal(err)
 		}

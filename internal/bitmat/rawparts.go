@@ -169,6 +169,7 @@ func FromRaw(r RawParts) (*Packed, error) {
 // corpus segment's row space, so the check only guards misuse).
 func PairPopcountBetween(a *Packed, i int, b *Packed, j int) int {
 	if a.WordRows != b.WordRows || a.B != b.B {
+		//gas:invariant the query column is constructed against the corpus segment's row space by the index layer; a mismatch is API misuse of an internal kernel
 		panic(fmt.Sprintf("bitmat: PairPopcountBetween row-space mismatch (%d,%d) vs (%d,%d)",
 			a.WordRows, a.B, b.WordRows, b.B))
 	}

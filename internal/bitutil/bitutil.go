@@ -44,6 +44,7 @@ func PopcountAndSlice(a, b []uint64) int {
 // WordsFor returns the number of b-bit words needed to hold n bits.
 func WordsFor(n int, b int) int {
 	if b <= 0 {
+		//gas:invariant word widths are the package's own WordBits or a validated packing width; this guards direct misuse
 		panic(fmt.Sprintf("bitutil: non-positive word width %d", b))
 	}
 	return (n + b - 1) / b
@@ -52,6 +53,7 @@ func WordsFor(n int, b int) int {
 // MaskWidth returns a mask with the low b bits set. b must be in [1,64].
 func MaskWidth(b int) uint64 {
 	if b <= 0 || b > 64 {
+		//gas:invariant mask widths are validated packing widths in [1,64] wherever derived from configuration
 		panic(fmt.Sprintf("bitutil: invalid mask width %d", b))
 	}
 	if b == 64 {
@@ -69,6 +71,7 @@ type Bitset struct {
 // NewBitset returns a bitset able to hold n bits, all initially zero.
 func NewBitset(n int) *Bitset {
 	if n < 0 {
+		//gas:invariant bitset lengths are derived from attribute counts and slice lengths, never negative on input-reachable paths
 		panic("bitutil: negative bitset length")
 	}
 	return &Bitset{words: make([]uint64, WordsFor(n, WordBits)), n: n}
@@ -92,6 +95,7 @@ func (s *Bitset) grow(i int) {
 // Set sets bit i, growing the bitset if needed.
 func (s *Bitset) Set(i int) {
 	if i < 0 {
+		//gas:invariant bit indices come from loops over [0, n); a negative index is a caller bug
 		panic("bitutil: negative bit index")
 	}
 	s.grow(i)
@@ -101,6 +105,7 @@ func (s *Bitset) Set(i int) {
 // Clear clears bit i. Clearing beyond the current length is a no-op.
 func (s *Bitset) Clear(i int) {
 	if i < 0 {
+		//gas:invariant bit indices come from loops over [0, n); a negative index is a caller bug
 		panic("bitutil: negative bit index")
 	}
 	if i >= s.n {
@@ -112,6 +117,7 @@ func (s *Bitset) Clear(i int) {
 // Get reports whether bit i is set. Bits beyond the length read as false.
 func (s *Bitset) Get(i int) bool {
 	if i < 0 {
+		//gas:invariant bit indices come from loops over [0, n); a negative index is a caller bug
 		panic("bitutil: negative bit index")
 	}
 	if i >= s.n {
@@ -201,6 +207,7 @@ func PackIndices(indices []int, n int) []uint64 {
 	out := make([]uint64, WordsFor(n, WordBits))
 	for _, i := range indices {
 		if i < 0 || i >= n {
+			//gas:invariant indices are set-bit positions produced against the same n by the caller; out-of-range is a caller bug
 			panic(fmt.Sprintf("bitutil: index %d out of range [0,%d)", i, n))
 		}
 		out[i/WordBits] |= 1 << uint(i%WordBits)
@@ -216,6 +223,7 @@ func ReverseBits64(x uint64) uint64 {
 // Log2Ceil returns ceil(log2(x)) for x >= 1.
 func Log2Ceil(x uint64) int {
 	if x == 0 {
+		//gas:invariant documented contract: x >= 1; callers pass counts that were already checked positive
 		panic("bitutil: Log2Ceil(0)")
 	}
 	if x == 1 {

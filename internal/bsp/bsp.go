@@ -306,6 +306,7 @@ func (a abortError) Unwrap() error { return a.err }
 // be non-negative (negative tags are reserved for collectives).
 func (p *Proc) Send(to, tag int, payload any) {
 	if tag < 0 {
+		//gas:invariant user tags are package-level constants in every caller; negative tags are reserved and this guards collective-protocol integrity
 		panic("bsp: negative tags are reserved for collectives")
 	}
 	p.send(to, tag, payload)
@@ -313,6 +314,7 @@ func (p *Proc) Send(to, tag int, payload any) {
 
 func (p *Proc) send(to, tag int, payload any) {
 	if to < 0 || to >= p.np {
+		//gas:invariant destination ranks come from grid peers of this same world and are in [0, NProcs) by construction
 		panic(fmt.Sprintf("bsp: destination rank %d out of range [0,%d)", to, p.np))
 	}
 	p.sendSeq++
@@ -360,6 +362,7 @@ func (p *Proc) Sync() {
 	in, err := p.t.Exchange(p.step, out)
 	p.pending = out[:0]
 	if err != nil {
+		//gas:invariant deliberate abort mechanism: a transport failure raises a typed abortError that the runner recovers and converts into a run error
 		panic(abortError{err})
 	}
 	step := p.step

@@ -37,6 +37,7 @@ func Bcast[T any](p *Proc, root int, x T) T {
 	}
 	msgs := p.RecvAll(tag)
 	if len(msgs) != 1 {
+		//gas:invariant superstep protocol invariant: exactly the root sends on this tag in this superstep, so one message arrives
 		panic(fmt.Sprintf("bsp: Bcast expected 1 message, got %d", len(msgs)))
 	}
 	return msgs[0].Payload.(T)
@@ -106,6 +107,7 @@ func AllReduce[T any](p *Proc, x T, op func(T, T) T) T {
 func AllReduceSlice[T any](p *Proc, xs []T, op func(T, T) T) []T {
 	return AllReduce(p, append([]T(nil), xs...), func(a, b []T) []T {
 		if len(a) != len(b) {
+			//gas:invariant all ranks fold equal-length slices by the collective's contract; a mismatch is a protocol bug, not input
 			panic(fmt.Sprintf("bsp: AllReduceSlice length mismatch %d vs %d", len(a), len(b)))
 		}
 		out := make([]T, len(a))
@@ -120,6 +122,7 @@ func AllReduceSlice[T any](p *Proc, xs []T, op func(T, T) T) []T {
 func ReduceSlice[T any](p *Proc, root int, xs []T, op func(T, T) T) ([]T, bool) {
 	return Reduce(p, root, append([]T(nil), xs...), func(a, b []T) []T {
 		if len(a) != len(b) {
+			//gas:invariant all ranks fold equal-length slices by the collective's contract; a mismatch is a protocol bug, not input
 			panic(fmt.Sprintf("bsp: ReduceSlice length mismatch %d vs %d", len(a), len(b)))
 		}
 		out := make([]T, len(a))
@@ -149,6 +152,7 @@ func ExScan[T any](p *Proc, x T, op func(T, T) T, identity T) T {
 // filter construction and by distributed matrix Write.
 func AllToAll[T any](p *Proc, out []T) []T {
 	if len(out) != p.NProcs() {
+		//gas:invariant callers build the bucket slice with make(..., NProcs) from this same world; a mismatch is a caller bug
 		panic(fmt.Sprintf("bsp: AllToAll requires %d output buckets, got %d", p.NProcs(), len(out)))
 	}
 	tag := p.nextCollectiveTag()

@@ -250,12 +250,16 @@ func (f *ComputeFlags) StreamPairs(ctx context.Context, ds genomeatscale.Dataset
 }
 
 // WriteMatrixTSVFile writes a labelled square matrix as TSV to path.
-func WriteMatrixTSVFile(path string, names []string, m *sparse.Dense[float64]) error {
+func WriteMatrixTSVFile(path string, names []string, m *sparse.Dense[float64]) (err error) {
 	fl, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer fl.Close()
+	defer func() {
+		if cerr := fl.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	return output.WriteTSV(fl, names, m)
 }
 

@@ -163,7 +163,7 @@ func TestWriteMatrixTSVFileError(t *testing.T) {
 }
 
 func TestPrintMatrix(t *testing.T) {
-	m := sparse.NewDense[float64](2, 2)
+	m := sparse.MustDense[float64](2, 2)
 	m.Set(0, 0, 1)
 	m.Set(0, 1, 0.5)
 	m.Set(1, 0, 0.5)

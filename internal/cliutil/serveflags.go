@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -74,8 +75,7 @@ func WriteStatsJSONFlag(out io.Writer, path string, stats *core.RunStats) error 
 		return err
 	}
 	if err := WriteStatsJSON(fl, stats); err != nil {
-		fl.Close()
-		return err
+		return errors.Join(err, fl.Close())
 	}
 	if err := fl.Close(); err != nil {
 		return err

@@ -12,7 +12,7 @@ import (
 
 // denseFrom builds a dense matrix from a 2D slice.
 func denseFrom(rows [][]float64) *sparse.Dense[float64] {
-	d := sparse.NewDense[float64](len(rows), len(rows[0]))
+	d := sparse.MustDense[float64](len(rows), len(rows[0]))
 	for i, r := range rows {
 		for j, v := range r {
 			d.Set(i, j, v)
@@ -38,13 +38,13 @@ func TestValidateDistances(t *testing.T) {
 	if err := validateDistances(nil, nil); err == nil {
 		t.Error("nil matrix should fail")
 	}
-	if err := validateDistances(sparse.NewDense[float64](2, 3), []string{"a", "b"}); err == nil {
+	if err := validateDistances(sparse.MustDense[float64](2, 3), []string{"a", "b"}); err == nil {
 		t.Error("non-square should fail")
 	}
 	if err := validateDistances(d, []string{"a"}); err == nil {
 		t.Error("name mismatch should fail")
 	}
-	if err := validateDistances(sparse.NewDense[float64](0, 0), nil); err == nil {
+	if err := validateDistances(sparse.MustDense[float64](0, 0), nil); err == nil {
 		t.Error("empty should fail")
 	}
 	bad := denseFrom([][]float64{{0, -1}, {-1, 0}})
@@ -260,7 +260,7 @@ func TestKMedoidsErrors(t *testing.T) {
 	if _, err := KMedoids(d, 3, 0, 10); err == nil {
 		t.Error("k>n should fail")
 	}
-	if _, err := KMedoids(sparse.NewDense[float64](2, 3), 1, 0, 10); err == nil {
+	if _, err := KMedoids(sparse.MustDense[float64](2, 3), 1, 0, 10); err == nil {
 		t.Error("non-square should fail")
 	}
 }
@@ -281,7 +281,7 @@ func TestKMedoidsRandomStability(t *testing.T) {
 	// maxIter and produce a valid assignment for every seed.
 	rng := synth.NewRNG(44)
 	n := 30
-	d := sparse.NewDense[float64](n, n)
+	d := sparse.MustDense[float64](n, n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			v := rng.Float64()

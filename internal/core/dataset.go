@@ -156,6 +156,7 @@ func NewInMemoryDataset(names []string, samples [][]uint64, numAttributes uint64
 func MustInMemoryDataset(names []string, samples [][]uint64, numAttributes uint64) *InMemoryDataset {
 	ds, err := NewInMemoryDataset(names, samples, numAttributes)
 	if err != nil {
+		//gas:invariant documented Must helper for tests and examples with known-good inputs; NewInMemoryDataset is the checked path
 		panic(err)
 	}
 	return ds

@@ -69,7 +69,7 @@ type runConfig struct {
 func resolveConfig(opts Options) runConfig {
 	cfg := runConfig{
 		opts:       opts,
-		grid:       grid.Choose(opts.Procs, opts.Replication),
+		grid:       grid.MustChoose(opts.Procs, opts.Replication),
 		seqWorkers: par.Resolve(opts.Workers),
 		tileRows:   opts.TileRows,
 	}
@@ -260,7 +260,7 @@ func (e *Engine) computeSeq(ctx context.Context, ds Dataset, sink TileSink, cfg 
 		Cardinalities: make([]int64, n),
 	}
 	res.Stats.Tuning = cfg.tuning
-	b := sparse.NewDense[int64](n, n)
+	b := sparse.MustDense[int64](n, n)
 
 	allCols := make([]int, n)
 	for i := 0; i < n; i++ {

@@ -42,7 +42,7 @@ func intersectionSize(x, y []uint64) int {
 // the other paths are verified against, and is practical only for small n.
 func ExactJaccard(ds Dataset) *sparse.Dense[float64] {
 	n := ds.NumSamples()
-	out := sparse.NewDense[float64](n, n)
+	out := sparse.MustDense[float64](n, n)
 	for i := 0; i < n; i++ {
 		xi := ds.Sample(i)
 		// The diagonal is computed, not assumed: an empty sample's

@@ -384,6 +384,7 @@ type Result struct {
 // Similarity returns S[i][j]; it panics if the matrices were not gathered.
 func (r *Result) Similarity(i, j int) float64 {
 	if r.S == nil {
+		//gas:invariant documented accessor contract: gathered matrices exist unless the caller itself set SkipGather or streamed; misuse, not input
 		panic("core: similarity matrix was not gathered (SkipGather set or streaming run)")
 	}
 	return r.S.At(i, j)
@@ -392,6 +393,7 @@ func (r *Result) Similarity(i, j int) float64 {
 // Distance returns D[i][j]; it panics if the matrices were not gathered.
 func (r *Result) Distance(i, j int) float64 {
 	if r.D == nil {
+		//gas:invariant documented accessor contract: gathered matrices exist unless the caller itself set SkipGather or streamed; misuse, not input
 		panic("core: distance matrix was not gathered (SkipGather set or streaming run)")
 	}
 	return r.D.At(i, j)

@@ -46,8 +46,8 @@ func finalize(ctx context.Context, res *Result, b *sparse.Dense[int64], skipGath
 	}
 	n := res.N
 	res.B = b
-	res.S = sparse.NewDense[float64](n, n)
-	res.D = sparse.NewDense[float64](n, n)
+	res.S = sparse.MustDense[float64](n, n)
+	res.D = sparse.MustDense[float64](n, n)
 	if err := par.ForEachCtx(ctx, workers, n, func(i int) {
 		brow := b.Row(i)
 		srow := res.S.Row(i)

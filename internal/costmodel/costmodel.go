@@ -145,6 +145,7 @@ func (pr Problem) withDefaults() Problem {
 // overhead that grows (slowly) with p/n.
 func BatchTime(m Machine, pr Problem, p, c int) float64 {
 	if p <= 0 {
+		//gas:invariant candidate rank counts are enumerated from a validated positive Procs by the tuner
 		panic(fmt.Sprintf("costmodel: non-positive rank count %d", p))
 	}
 	if c < 1 {

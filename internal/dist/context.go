@@ -33,9 +33,10 @@ type Context struct {
 
 // NewContext arranges the run's ranks as a processor grid with the
 // requested replication factor (clamped by grid.Choose so every rank is
-// used) and locates this rank in it.
+// used) and locates this rank in it. NProcs of a live BSP world is
+// positive, so MustChoose cannot fail here.
 func NewContext(p *bsp.Proc, replication int) *Context {
-	return NewContextWithGrid(p, grid.Choose(p.NProcs(), replication))
+	return NewContextWithGrid(p, grid.MustChoose(p.NProcs(), replication))
 }
 
 // NewContextWithGrid binds a rank to a pre-chosen grid. The reusable engine

@@ -23,6 +23,7 @@ type FilterVector struct {
 // NewFilterVector creates an empty filter over a batch with `length` rows.
 func NewFilterVector(ctx *Context, length int64) *FilterVector {
 	if length <= 0 {
+		//gas:invariant batch lengths come from RowSlice ranges over a validated dataset and are positive by construction
 		panic(fmt.Sprintf("dist: non-positive filter length %d", length))
 	}
 	return &FilterVector{ctx: ctx, length: length}
@@ -33,6 +34,7 @@ func NewFilterVector(ctx *Context, length int64) *FilterVector {
 func (f *FilterVector) Write(rows []int64) {
 	for _, r := range rows {
 		if r < 0 || r >= f.length {
+			//gas:invariant rows are produced by the batch hasher within this same filter's [0, length) space
 			panic(fmt.Sprintf("dist: filter row %d out of range [0,%d)", r, f.length))
 		}
 	}

@@ -91,7 +91,7 @@ func NewGramEngine(ctx *Context, n, workers, denseThreshold int) *GramEngine {
 	e := &GramEngine{ctx: ctx, n: n, workers: par.Resolve(workers), denseThreshold: denseThreshold}
 	e.rowLo, e.rowHi = ctx.RowBlock(n)
 	e.colLo, e.colHi = ctx.ColBlock(n)
-	e.acc = sparse.NewDense[int64](e.rowHi-e.rowLo, e.colHi-e.colLo)
+	e.acc = sparse.MustDense[int64](e.rowHi-e.rowLo, e.colHi-e.colLo)
 	return e
 }
 
@@ -120,6 +120,7 @@ func (e *GramEngine) AddBatch(entries []bitmat.PackedEntry, wordRows, maskBits, 
 	bOut := make([]entrySlice, np)
 	for _, ent := range entries {
 		if ent.WordRow < 0 || ent.WordRow >= wordRows {
+			//gas:invariant entries come from Packed.Entries() of a matrix built over this same word-row space
 			panic(fmt.Sprintf("dist: word row %d out of range [0,%d)", ent.WordRow, wordRows))
 		}
 		layer := grid.BlockOwner(wordRows, g.Layers, ent.WordRow)
@@ -177,6 +178,7 @@ func (e *GramEngine) AddBatch(entries []bitmat.PackedEntry, wordRows, maskBits, 
 	if e.ctx.Col != 0 {
 		msgs := p.RecvAll(tagAPanel)
 		if len(msgs) != 1 {
+			//gas:invariant superstep protocol invariant: exactly the column-0 home rank sends one A panel on this tag
 			panic(fmt.Sprintf("dist: rank %d expected 1 A panel, got %d", p.Rank(), len(msgs)))
 		}
 		aPanel = fromWire(msgs[0].Payload.(packedWire))
@@ -184,6 +186,7 @@ func (e *GramEngine) AddBatch(entries []bitmat.PackedEntry, wordRows, maskBits, 
 	if e.ctx.Row != 0 {
 		msgs := p.RecvAll(tagBPanel)
 		if len(msgs) != 1 {
+			//gas:invariant superstep protocol invariant: exactly the row-0 home rank sends one B panel on this tag
 			panic(fmt.Sprintf("dist: rank %d expected 1 B panel, got %d", p.Rank(), len(msgs)))
 		}
 		bPanel = fromWire(msgs[0].Payload.(packedWire))
@@ -208,6 +211,7 @@ func (e *GramEngine) AddBatch(entries []bitmat.PackedEntry, wordRows, maskBits, 
 // identical on every rank. Finalize is a collective; one superstep.
 func (e *GramEngine) Finalize(counts []int64) *Blocks {
 	if len(counts) != e.n {
+		//gas:invariant counts is the AllReduce result over this run's n samples, identical on every rank by the collective's semantics
 		panic(fmt.Sprintf("dist: %d cardinalities for %d samples", len(counts), e.n))
 	}
 	g := e.ctx.Grid
@@ -226,6 +230,7 @@ func (e *GramEngine) Finalize(counts []int64) *Blocks {
 	for _, m := range p.RecvAll(tagLayerPartial) {
 		part := m.Payload.([]int64)
 		if len(part) != len(e.acc.Data) {
+			//gas:invariant layer partials are accumulator snapshots of identically shaped blocks from this same run
 			panic(fmt.Sprintf("dist: layer partial size %d, want %d", len(part), len(e.acc.Data)))
 		}
 		for i, v := range part {
@@ -265,7 +270,7 @@ func (bl *Blocks) SBlock() *sparse.Dense[float64] {
 	if bl.b == nil {
 		return nil
 	}
-	out := sparse.NewDense[float64](bl.rowHi-bl.rowLo, bl.colHi-bl.colLo)
+	out := sparse.MustDense[float64](bl.rowHi-bl.rowLo, bl.colHi-bl.colLo)
 	par.ForEach(bl.workers, bl.rowHi-bl.rowLo, func(i int) {
 		brow := bl.b.Row(i)
 		srow := out.Row(i)
@@ -307,7 +312,7 @@ func gatherBlocks[T int64 | float64](ctx *Context, n int, root int, block *spars
 	if ctx.P.Rank() != root {
 		return nil
 	}
-	out := sparse.NewDense[T](n, n)
+	out := sparse.MustDense[T](n, n)
 	for _, part := range parts {
 		for i := 0; i < part.Rows; i++ {
 			copy(out.Row(part.RowLo + i)[part.ColLo:part.ColLo+part.Cols], part.Data[i*part.Cols:(i+1)*part.Cols])
@@ -362,6 +367,7 @@ func (bl *Blocks) EmitTiles(root int, emit func(*tile.Tile) error) error {
 			}
 			if msgs := p.RecvAll(tagTileEmit); len(msgs) > 0 {
 				if len(msgs) != 1 {
+					//gas:invariant superstep protocol invariant: exactly one rank owns block (s,t) and sends one tile on this tag
 					panic(fmt.Sprintf("dist: root expected 1 tile for block (%d,%d), got %d", s, t, len(msgs)))
 				}
 				local = msgs[0].Payload.(*tile.Tile)

@@ -27,6 +27,7 @@ func Tokenize(text string) []string {
 // k tokens yield nothing.
 func Shingles(tokens []string, k int) []string {
 	if k <= 0 {
+		//gas:invariant documented contract: shingle size is app configuration validated at the flag layer; this guards direct API misuse
 		panic(fmt.Sprintf("docsim: shingle size must be positive, got %d", k))
 	}
 	if len(tokens) < k {

@@ -121,11 +121,15 @@ func WriteFASTA(w io.Writer, records []Record, width int) error {
 }
 
 // WriteFASTAFile writes records to a file on disk.
-func WriteFASTAFile(path string, records []Record, width int) error {
+func WriteFASTAFile(path string, records []Record, width int) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("genome: %w", err)
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("genome: %w", cerr)
+		}
+	}()
 	return WriteFASTA(f, records, width)
 }

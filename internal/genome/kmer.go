@@ -199,6 +199,7 @@ func FilterCounts(counts map[uint64]int, minCount int) []uint64 {
 // number of rows of the indicator matrix.
 func KmerSpace(k int) uint64 {
 	if k <= 0 || k > MaxK {
+		//gas:invariant k is validated against [1,MaxK] at the flag/profile layer before any k-mer math; this guards direct API misuse
 		panic(fmt.Sprintf("genome: k must be in [1,%d], got %d", MaxK, k))
 	}
 	return uint64(1) << (2 * uint(k))

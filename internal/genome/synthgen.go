@@ -20,6 +20,7 @@ var bases = []byte{'A', 'C', 'G', 'T'}
 // RandomSequence generates a uniformly random nucleotide sequence.
 func RandomSequence(rng *synth.RNG, length int) []byte {
 	if length < 0 {
+		//gas:invariant sequence lengths come from generator configs validated non-negative at the flag layer
 		panic(fmt.Sprintf("genome: negative sequence length %d", length))
 	}
 	out := make([]byte, length)

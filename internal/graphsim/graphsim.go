@@ -26,6 +26,7 @@ type Graph struct {
 // NewGraph creates an empty graph with n vertices.
 func NewGraph(n int) *Graph {
 	if n < 0 {
+		//gas:invariant vertex counts come from generator configs and dataset sizes validated at the app layer
 		panic(fmt.Sprintf("graphsim: negative vertex count %d", n))
 	}
 	return &Graph{N: n, adj: make([][]int, n)}
@@ -35,6 +36,7 @@ func NewGraph(n int) *Graph {
 // edges are tolerated (duplicates are removed by Neighbors).
 func (g *Graph) AddEdge(u, v int) {
 	if u < 0 || u >= g.N || v < 0 || v >= g.N {
+		//gas:invariant edges are generated against this same graph's vertex range; out-of-range is a generator bug
 		panic(fmt.Sprintf("graphsim: edge (%d,%d) out of range [0,%d)", u, v, g.N))
 	}
 	g.adj[u] = append(g.adj[u], v)
@@ -189,6 +191,7 @@ func PredictLinks(g *Graph, similarity *sparse.Dense[float64], k int) [][2]int {
 // probability, used by examples and benchmarks.
 func RandomGraph(n int, edgeProb float64, seed uint64) *Graph {
 	if edgeProb < 0 || edgeProb > 1 {
+		//gas:invariant edge probabilities are generator configuration validated at the app layer; this guards direct misuse
 		panic(fmt.Sprintf("graphsim: edge probability %v out of [0,1]", edgeProb))
 	}
 	g := NewGraph(n)

@@ -29,6 +29,7 @@ func (g Grid) String() string {
 // are laid out layer-major, then row-major within a layer.
 func (g Grid) Coords(rank int) (row, col, layer int) {
 	if rank < 0 || rank >= g.Size() {
+		//gas:invariant ranks come from the BSP runtime, which only mints ranks in [0, NProcs); an out-of-range rank is runtime corruption, not user input
 		panic(fmt.Sprintf("grid: rank %d out of range for grid %s", rank, g))
 	}
 	layer = rank / (g.Rows * g.Cols)
@@ -39,6 +40,7 @@ func (g Grid) Coords(rank int) (row, col, layer int) {
 // Rank maps (row, col, layer) coordinates to a rank.
 func (g Grid) Rank(row, col, layer int) int {
 	if row < 0 || row >= g.Rows || col < 0 || col >= g.Cols || layer < 0 || layer >= g.Layers {
+		//gas:invariant coordinates are produced by Coords/peer iteration over this same grid; out-of-range coords indicate a caller bug, never external input
 		panic(fmt.Sprintf("grid: coords (%d,%d,%d) out of range for grid %s", row, col, layer, g))
 	}
 	return layer*g.Rows*g.Cols + row*g.Cols + col
@@ -77,10 +79,12 @@ func (g Grid) ColPeers(col, layer int) []int {
 // factor c, following the paper's √(p/c) × √(p/c) × c prescription. The
 // replication factor is clamped to [1, p] and reduced until it divides p;
 // the per-layer grid is the most-square factorisation of p/c. Every rank is
-// used: Rows*Cols*Layers == p whenever p ≥ 1.
-func Choose(p, c int) Grid {
+// used: Rows*Cols*Layers == p whenever p ≥ 1. The processor count is the
+// one user-derived shape here (a -procs flag or a launcher's world size),
+// so a non-positive p is reported as an error rather than a panic.
+func Choose(p, c int) (Grid, error) {
 	if p <= 0 {
-		panic(fmt.Sprintf("grid: non-positive processor count %d", p))
+		return Grid{}, fmt.Errorf("grid: non-positive processor count %d", p)
 	}
 	if c < 1 {
 		c = 1
@@ -93,13 +97,26 @@ func Choose(p, c int) Grid {
 	}
 	perLayer := p / c
 	rows, cols := mostSquareFactors(perLayer)
-	return Grid{Rows: rows, Cols: cols, Layers: c}
+	return Grid{Rows: rows, Cols: cols, Layers: c}, nil
+}
+
+// MustChoose is Choose for callers whose processor count is structurally
+// positive (a validated Options, a live BSP world). It panics on the error
+// Choose would return.
+func MustChoose(p, c int) Grid {
+	g, err := Choose(p, c)
+	if err != nil {
+		//gas:invariant callers pass a validated or runtime-provided positive processor count; see Choose for the error-returning form
+		panic(err)
+	}
+	return g
 }
 
 // mostSquareFactors returns the factor pair (r, c) of n with r ≤ c and r as
 // close to √n as possible.
 func mostSquareFactors(n int) (int, int) {
 	if n <= 0 {
+		//gas:invariant only reachable from Choose after it validates p >= 1 and clamps c to a divisor of p, so n = p/c >= 1 always holds
 		panic(fmt.Sprintf("grid: non-positive factorisation target %d", n))
 	}
 	best := 1
@@ -116,12 +133,15 @@ func mostSquareFactors(n int) (int, int) {
 // most one item (the first n%parts blocks get the extra item).
 func BlockRange(n, parts, idx int) (lo, hi int) {
 	if parts <= 0 {
+		//gas:invariant parts is a grid dimension from Choose, which only builds grids with positive Rows/Cols/Layers
 		panic(fmt.Sprintf("grid: non-positive part count %d", parts))
 	}
 	if idx < 0 || idx >= parts {
+		//gas:invariant idx is a grid coordinate from Coords over the same grid; a mismatch is a caller bug in index math, not input
 		panic(fmt.Sprintf("grid: block index %d out of range [0,%d)", idx, parts))
 	}
 	if n < 0 {
+		//gas:invariant item counts are slice lengths or validated sample counts, never negative on any input-reachable path
 		panic(fmt.Sprintf("grid: negative item count %d", n))
 	}
 	base := n / parts
@@ -138,6 +158,7 @@ func BlockRange(n, parts, idx int) (lo, hi int) {
 // into `parts` blocks by BlockRange.
 func BlockOwner(n, parts, i int) int {
 	if i < 0 || i >= n {
+		//gas:invariant i is an in-range item index produced by iteration over the same n items; out-of-range means broken index math upstream
 		panic(fmt.Sprintf("grid: item %d out of range [0,%d)", i, n))
 	}
 	base := n / parts
@@ -159,9 +180,11 @@ func BlockOwner(n, parts, i int) int {
 // files ("for(i = my_rank; i < n; i += num_procs)" in Listing 2).
 func CyclicOwner(parts, i int) int {
 	if parts <= 0 {
+		//gas:invariant parts is NProcs of a live BSP world, which is positive by construction
 		panic(fmt.Sprintf("grid: non-positive part count %d", parts))
 	}
 	if i < 0 {
+		//gas:invariant item indices come from loops over [0, n); a negative index is a caller bug
 		panic(fmt.Sprintf("grid: negative item %d", i))
 	}
 	return i % parts
@@ -171,6 +194,7 @@ func CyclicOwner(parts, i int) int {
 // distribution over `parts` owners.
 func CyclicItems(n, parts, rank int) []int {
 	if rank < 0 || rank >= parts {
+		//gas:invariant ranks come from the BSP runtime and are always in [0, NProcs)
 		panic(fmt.Sprintf("grid: rank %d out of range [0,%d)", rank, parts))
 	}
 	var out []int

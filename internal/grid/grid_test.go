@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -22,7 +23,10 @@ func TestChooseSquareGrids(t *testing.T) {
 		{1024, 16, 8, 8, 16, 1024},
 	}
 	for _, c := range cases {
-		g := Choose(c.p, c.c)
+		g, err := Choose(c.p, c.c)
+		if err != nil {
+			t.Fatalf("Choose(%d,%d): %v", c.p, c.c, err)
+		}
 		if g.Rows != c.rows || g.Cols != c.cols || g.Layers != c.layers {
 			t.Errorf("Choose(%d,%d) = %s, want %dx%dx%d", c.p, c.c, g, c.rows, c.cols, c.layers)
 		}
@@ -34,35 +38,48 @@ func TestChooseSquareGrids(t *testing.T) {
 
 func TestChooseClampsReplication(t *testing.T) {
 	// c > p clamps to p; c not dividing p is reduced.
-	g := Choose(8, 100)
+	g := MustChoose(8, 100)
 	if g.Size() != 8 {
 		t.Errorf("Size = %d, want 8", g.Size())
 	}
-	g = Choose(10, 4) // 4 does not divide 10 → falls back to 2
+	g = MustChoose(10, 4) // 4 does not divide 10 → falls back to 2
 	if g.Layers != 2 || g.Size() != 10 {
 		t.Errorf("Choose(10,4) = %s", g)
 	}
-	g = Choose(5, 0)
+	g = MustChoose(5, 0)
 	if g.Layers != 1 || g.Size() != 5 {
 		t.Errorf("Choose(5,0) = %s", g)
 	}
 }
 
-func TestChoosePanicsOnNonPositive(t *testing.T) {
+func TestChooseErrorsOnNonPositive(t *testing.T) {
+	for _, p := range []int{0, -3} {
+		_, err := Choose(p, 1)
+		if err == nil {
+			t.Fatalf("Choose(%d,1): expected error", p)
+		}
+		want := fmt.Sprintf("grid: non-positive processor count %d", p)
+		if err.Error() != want {
+			t.Errorf("Choose(%d,1) error = %q, want %q", p, err, want)
+		}
+	}
+}
+
+func TestMustChoosePanicsOnNonPositive(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic")
 		}
 	}()
-	Choose(0, 1)
+	MustChoose(0, 1)
 }
 
 func TestChooseUsesAllRanksProperty(t *testing.T) {
 	f := func(pRaw, cRaw uint16) bool {
 		p := int(pRaw%2048) + 1
 		c := int(cRaw%64) + 1
-		g := Choose(p, c)
-		return g.Size() == p && g.Rows <= g.Cols
+		g, err := Choose(p, c)
+		return err == nil && g.Size() == p && g.Rows <= g.Cols
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)

@@ -35,6 +35,7 @@ func castU64(b []byte, n int) []uint64 {
 // castI64 is castU64 for signed values.
 func castI64(b []byte, n int) []int64 {
 	u := castU64(b, n)
+	//gas:unsafe same-width uint64→int64 reinterpret of a slice castU64 already adopted (or copied) under its guard; no byte-order or alignment assumption of its own
 	return unsafe.Slice((*int64)(unsafe.Pointer(unsafe.SliceData(u))), len(u))
 }
 

@@ -42,6 +42,7 @@ package indexfile
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -472,12 +473,10 @@ func WriteFile(path string, f *File) error {
 		return err
 	}
 	if _, err := f.WriteTo(out); err != nil {
-		out.Close()
-		return err
+		return errors.Join(err, out.Close())
 	}
 	if err := out.Sync(); err != nil {
-		out.Close()
-		return err
+		return errors.Join(err, out.Close())
 	}
 	return out.Close()
 }
@@ -490,12 +489,16 @@ func WriteFile(path string, f *File) error {
 // segment, or with it fully published. sketchK must match the file's (the
 // caller owns the corpus-wide sketch configuration); the file header is
 // read back to enforce agreement.
-func AppendSegment(path string, seg *Segment, b, sketchK int) error {
+func AppendSegment(path string, seg *Segment, b, sketchK int) (err error) {
 	fd, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return err
 	}
-	defer fd.Close()
+	defer func() {
+		if cerr := fd.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	h := make([]byte, fileHeaderSize)
 	if _, err := io.ReadFull(fd, h); err != nil {
 		return fmt.Errorf("indexfile: reading header: %w", err)

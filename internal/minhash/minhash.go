@@ -59,6 +59,7 @@ func New(values []uint64, size int) (Sketch, error) {
 func MustNew(values []uint64, size int) Sketch {
 	s, err := New(values, size)
 	if err != nil {
+		//gas:invariant documented Must helper for static configurations; New is the checked path for untrusted sizes
 		panic(err)
 	}
 	return s

@@ -44,12 +44,16 @@ func WritePHYLIP(w io.Writer, names []string, d *sparse.Dense[float64]) error {
 }
 
 // WritePHYLIPFile writes a PHYLIP distance matrix to a file.
-func WritePHYLIPFile(path string, names []string, d *sparse.Dense[float64]) error {
+func WritePHYLIPFile(path string, names []string, d *sparse.Dense[float64]) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("output: %w", err)
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("output: %w", cerr)
+		}
+	}()
 	return WritePHYLIP(f, names, d)
 }
 
@@ -99,7 +103,7 @@ func ReadTSV(r io.Reader) ([]string, *sparse.Dense[float64], error) {
 	}
 	names := header[1:]
 	n := len(names)
-	m := sparse.NewDense[float64](n, n)
+	m := sparse.MustDense[float64](n, n)
 	row := 0
 	for scanner.Scan() {
 		line := strings.TrimRight(scanner.Text(), "\r\n")

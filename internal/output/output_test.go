@@ -60,13 +60,13 @@ func TestWritePHYLIPErrors(t *testing.T) {
 	if err := WritePHYLIP(&bytes.Buffer{}, []string{"a"}, nil); err == nil {
 		t.Error("nil matrix should error")
 	}
-	if err := WritePHYLIP(&bytes.Buffer{}, []string{"a"}, sparse.NewDense[float64](2, 2)); err == nil {
+	if err := WritePHYLIP(&bytes.Buffer{}, []string{"a"}, sparse.MustDense[float64](2, 2)); err == nil {
 		t.Error("name count mismatch should error")
 	}
-	if err := WritePHYLIP(&bytes.Buffer{}, []string{"a"}, sparse.NewDense[float64](1, 2)); err == nil {
+	if err := WritePHYLIP(&bytes.Buffer{}, []string{"a"}, sparse.MustDense[float64](1, 2)); err == nil {
 		t.Error("non-square matrix should error")
 	}
-	if err := WritePHYLIPFile(filepath.Join(t.TempDir(), "missing", "x.phy"), []string{"a"}, sparse.NewDense[float64](1, 1)); err == nil {
+	if err := WritePHYLIPFile(filepath.Join(t.TempDir(), "missing", "x.phy"), []string{"a"}, sparse.MustDense[float64](1, 1)); err == nil {
 		t.Error("unwritable path should error")
 	}
 }

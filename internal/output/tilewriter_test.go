@@ -41,8 +41,8 @@ func blockTiles(s, d *sparse.Dense[float64], tileRows, tileCols int) []*tile.Til
 }
 
 func randomMatrices(rng *rand.Rand, n int) (names []string, s, d *sparse.Dense[float64]) {
-	s = sparse.NewDense[float64](n, n)
-	d = sparse.NewDense[float64](n, n)
+	s = sparse.MustDense[float64](n, n)
+	d = sparse.MustDense[float64](n, n)
 	for i := 0; i < n; i++ {
 		names = append(names, strings.Repeat("ab", i%4)+"sample"+string(rune('a'+i%26)))
 		s.Set(i, i, 1)

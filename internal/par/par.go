@@ -125,6 +125,7 @@ func forEach(ctx context.Context, workers, n int, fn func(worker, i int)) {
 	body(0) // the calling goroutine is the pool's first worker
 	wg.Wait()
 	if panicVal != nil {
+		//gas:invariant re-raise, not origination: a worker goroutine's panic value is propagated to the caller so it is not silently swallowed
 		panic(panicVal)
 	}
 }

@@ -455,6 +455,7 @@ func (d *DirDataset) SampleErr(i int) ([]uint64, error) {
 func (d *DirDataset) Sample(i int) []uint64 {
 	vals, err := d.SampleErr(i)
 	if err != nil {
+		//gas:invariant documented legacy interface contract: execution pipelines use SampleErr; the panic can only reach direct legacy callers
 		panic(fmt.Sprintf("samplefile: %v (use SampleErr for error propagation)", err))
 	}
 	return vals

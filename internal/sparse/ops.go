@@ -16,7 +16,7 @@ import (
 // the two sorted row-index lists.
 func GramT[A, C any](a *CSC[A], sr semiring.Semiring[A, A, C]) *Dense[C] {
 	n := a.NumCols
-	out := NewDense[C](n, n)
+	out := MustDense[C](n, n)
 	for i := range out.Data {
 		out.Data[i] = sr.Add.Identity
 	}
@@ -50,6 +50,7 @@ func GramT[A, C any](a *CSC[A], sr semiring.Semiring[A, A, C]) *Dense[C] {
 // A^(l)ᵀ A^(l) into B (Eq. 4).
 func GramTAccumulate[A, C any](a *CSC[A], sr semiring.Semiring[A, A, C], into *Dense[C]) {
 	if into.Rows != a.NumCols || into.Cols != a.NumCols {
+		//gas:invariant the accumulator is allocated from the same batch shape the batches are sliced from; a mismatch is a batching bug, not input
 		panic(fmt.Sprintf("sparse: GramTAccumulate shape mismatch: %dx%d vs n=%d", into.Rows, into.Cols, a.NumCols))
 	}
 	part := GramT(a, sr)
@@ -93,6 +94,7 @@ func RowReduce[A, C any](a *CSR[A], add semiring.Monoid[C], mapVal func(A) C) []
 // vector x of length NumRows, returning a dense vector of length NumCols.
 func SpMV[A, B, C any](a *CSC[A], x []B, sr semiring.Semiring[A, B, C]) []C {
 	if len(x) != a.NumRows {
+		//gas:invariant the vector is sized from the same matrix's NumRows by every caller; a mismatch is a caller bug
 		panic(fmt.Sprintf("sparse: SpMV length mismatch %d vs %d", len(x), a.NumRows))
 	}
 	out := make([]C, a.NumCols)
@@ -114,6 +116,7 @@ func SpMV[A, B, C any](a *CSC[A], x []B, sr semiring.Semiring[A, B, C]) []C {
 // document-similarity applications as well as ablation baselines.
 func SpGEMM[X, Y, Z any](a *CSR[X], b *CSR[Y], sr semiring.Semiring[X, Y, Z]) *CSR[Z] {
 	if a.NumCols != b.NumRows {
+		//gas:invariant operands reaching SpGEMM come from conversions that preserve declared shapes; input layers validate dimensions when parsing
 		panic(fmt.Sprintf("sparse: SpGEMM inner dimension mismatch %d vs %d", a.NumCols, b.NumRows))
 	}
 	out := &CSR[Z]{
@@ -206,7 +209,7 @@ func FilterRows[T any](m *COO[T], keep []int) *COO[T] {
 	for rank, r := range keep {
 		pos[r] = rank
 	}
-	out := NewCOO[T](len(keep), m.NumCols)
+	out := MustCOO[T](len(keep), m.NumCols)
 	out.Entries = make([]Entry[T], 0, len(m.Entries))
 	for _, e := range m.Entries {
 		p, ok := pos[e.Row]
@@ -223,9 +226,10 @@ func FilterRows[T any](m *COO[T], keep []int) *COO[T] {
 // of Eq. 3: A = [A(1); ...; A(r)].
 func RowSlice[T any](m *COO[T], lo, hi int) *COO[T] {
 	if lo < 0 || hi > m.NumRows || lo > hi {
+		//gas:invariant batch ranges come from grid.BlockRange over this matrix's own row count and are in range by construction
 		panic(fmt.Sprintf("sparse: RowSlice [%d,%d) out of range for %d rows", lo, hi, m.NumRows))
 	}
-	out := NewCOO[T](hi-lo, m.NumCols)
+	out := MustCOO[T](hi-lo, m.NumCols)
 	for _, e := range m.Entries {
 		if e.Row >= lo && e.Row < hi {
 			out.Entries = append(out.Entries, Entry[T]{Row: e.Row - lo, Col: e.Col, Val: e.Val})

@@ -32,17 +32,33 @@ type COO[T any] struct {
 	Entries          []Entry[T]
 }
 
-// NewCOO returns an empty COO matrix with the given dimensions.
-func NewCOO[T any](rows, cols int) *COO[T] {
+// NewCOO returns an empty COO matrix with the given dimensions. Dimensions
+// may be user-derived (parsed file headers, CLI flags), so a negative shape
+// is reported as an error; use MustCOO when the shape is structurally
+// non-negative.
+func NewCOO[T any](rows, cols int) (*COO[T], error) {
 	if rows < 0 || cols < 0 {
-		panic(fmt.Sprintf("sparse: negative dimensions %dx%d", rows, cols))
+		return nil, fmt.Errorf("sparse: negative dimensions %dx%d", rows, cols)
 	}
-	return &COO[T]{NumRows: rows, NumCols: cols}
+	return &COO[T]{NumRows: rows, NumCols: cols}, nil
+}
+
+// MustCOO is NewCOO for shapes derived from existing matrices or slice
+// lengths, which cannot be negative. It panics on the error NewCOO would
+// return.
+func MustCOO[T any](rows, cols int) *COO[T] {
+	m, err := NewCOO[T](rows, cols)
+	if err != nil {
+		//gas:invariant callers pass shapes derived from existing matrices or len(); see NewCOO for the error-returning form
+		panic(err)
+	}
+	return m
 }
 
 // Append adds a nonzero entry. Bounds are checked.
 func (m *COO[T]) Append(row, col int, val T) {
 	if row < 0 || row >= m.NumRows || col < 0 || col >= m.NumCols {
+		//gas:invariant entry coordinates are produced by the builders (hashing, slicing, conversion loops) against this matrix's own shape; out-of-bounds is a builder bug, and input layers validate coordinates before appending
 		panic(fmt.Sprintf("sparse: entry (%d,%d) out of bounds %dx%d", row, col, m.NumRows, m.NumCols))
 	}
 	m.Entries = append(m.Entries, Entry[T]{Row: row, Col: col, Val: val})
@@ -96,7 +112,7 @@ func (m *COO[T]) Compact(combine semiring.Monoid[T]) {
 
 // Transpose returns a new COO matrix with rows and columns swapped.
 func (m *COO[T]) Transpose() *COO[T] {
-	t := NewCOO[T](m.NumCols, m.NumRows)
+	t := MustCOO[T](m.NumCols, m.NumRows)
 	t.Entries = make([]Entry[T], len(m.Entries))
 	for i, e := range m.Entries {
 		t.Entries[i] = Entry[T]{Row: e.Col, Col: e.Row, Val: e.Val}
@@ -106,7 +122,7 @@ func (m *COO[T]) Transpose() *COO[T] {
 
 // Clone returns a deep copy.
 func (m *COO[T]) Clone() *COO[T] {
-	c := NewCOO[T](m.NumRows, m.NumCols)
+	c := MustCOO[T](m.NumRows, m.NumCols)
 	c.Entries = append([]Entry[T](nil), m.Entries...)
 	return c
 }
@@ -167,7 +183,7 @@ func (m *CSR[T]) At(i, j int) (T, bool) {
 
 // ToCOO converts back to coordinate form.
 func (m *CSR[T]) ToCOO() *COO[T] {
-	out := NewCOO[T](m.NumRows, m.NumCols)
+	out := MustCOO[T](m.NumRows, m.NumCols)
 	out.Entries = make([]Entry[T], 0, m.NNZ())
 	for i := 0; i < m.NumRows; i++ {
 		cols, vals := m.Row(i)
@@ -212,7 +228,7 @@ func (m *CSC[T]) At(i, j int) (T, bool) {
 
 // ToCOO converts back to coordinate form.
 func (m *CSC[T]) ToCOO() *COO[T] {
-	out := NewCOO[T](m.NumRows, m.NumCols)
+	out := MustCOO[T](m.NumRows, m.NumCols)
 	out.Entries = make([]Entry[T], 0, m.NNZ())
 	for j := 0; j < m.NumCols; j++ {
 		rows, vals := m.Col(j)
@@ -361,12 +377,26 @@ type Dense[T any] struct {
 	Data       []T
 }
 
-// NewDense allocates a zeroed dense matrix.
-func NewDense[T any](rows, cols int) *Dense[T] {
+// NewDense allocates a zeroed dense matrix. A negative user-derived shape
+// is reported as an error; use MustDense when the shape is structurally
+// non-negative.
+func NewDense[T any](rows, cols int) (*Dense[T], error) {
 	if rows < 0 || cols < 0 {
-		panic(fmt.Sprintf("sparse: negative dense dimensions %dx%d", rows, cols))
+		return nil, fmt.Errorf("sparse: negative dense dimensions %dx%d", rows, cols)
 	}
-	return &Dense[T]{Rows: rows, Cols: cols, Data: make([]T, rows*cols)}
+	return &Dense[T]{Rows: rows, Cols: cols, Data: make([]T, rows*cols)}, nil
+}
+
+// MustDense is NewDense for shapes derived from existing matrices or block
+// ranges, which cannot be negative. It panics on the error NewDense would
+// return.
+func MustDense[T any](rows, cols int) *Dense[T] {
+	d, err := NewDense[T](rows, cols)
+	if err != nil {
+		//gas:invariant callers pass shapes derived from existing matrices or block ranges; see NewDense for the error-returning form
+		panic(err)
+	}
+	return d
 }
 
 // At returns the element at (i, j).
@@ -385,7 +415,7 @@ func (d *Dense[T]) Row(i int) []T { return d.Data[i*d.Cols : (i+1)*d.Cols] }
 
 // Clone returns a deep copy.
 func (d *Dense[T]) Clone() *Dense[T] {
-	out := NewDense[T](d.Rows, d.Cols)
+	out := MustDense[T](d.Rows, d.Cols)
 	copy(out.Data, d.Data)
 	return out
 }
@@ -393,6 +423,7 @@ func (d *Dense[T]) Clone() *Dense[T] {
 // AddInto accumulates other into d elementwise using the monoid.
 func (d *Dense[T]) AddInto(other *Dense[T], add semiring.Monoid[T]) {
 	if d.Rows != other.Rows || d.Cols != other.Cols {
+		//gas:invariant both operands are built by the same pipeline stage from one shape; a mismatch is an accumulation bug, not reachable from input
 		panic(fmt.Sprintf("sparse: dense shape mismatch %dx%d vs %dx%d", d.Rows, d.Cols, other.Rows, other.Cols))
 	}
 	for i := range d.Data {
@@ -402,7 +433,7 @@ func (d *Dense[T]) AddInto(other *Dense[T], add semiring.Monoid[T]) {
 
 // Map returns a new dense matrix with f applied elementwise.
 func Map[T, U any](d *Dense[T], f func(T) U) *Dense[U] {
-	out := NewDense[U](d.Rows, d.Cols)
+	out := MustDense[U](d.Rows, d.Cols)
 	for i, v := range d.Data {
 		out.Data[i] = f(v)
 	}
@@ -412,9 +443,10 @@ func Map[T, U any](d *Dense[T], f func(T) U) *Dense[U] {
 // Zip returns a new dense matrix combining a and b elementwise.
 func Zip[A, B, C any](a *Dense[A], b *Dense[B], f func(A, B) C) *Dense[C] {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
+		//gas:invariant Zip combines matrices produced pairwise by the same derivation (e.g. S and D over one B); a mismatch is a pipeline bug
 		panic("sparse: Zip shape mismatch")
 	}
-	out := NewDense[C](a.Rows, a.Cols)
+	out := MustDense[C](a.Rows, a.Cols)
 	for i := range a.Data {
 		out.Data[i] = f(a.Data[i], b.Data[i])
 	}
@@ -431,17 +463,31 @@ type Vector[T any] struct {
 	Val []T
 }
 
-// NewVector returns an empty sparse vector of logical length n.
-func NewVector[T any](n int) *Vector[T] {
+// NewVector returns an empty sparse vector of logical length n. A negative
+// user-derived length is reported as an error; use MustVector when the
+// length is structurally non-negative.
+func NewVector[T any](n int) (*Vector[T], error) {
 	if n < 0 {
-		panic("sparse: negative vector length")
+		return nil, fmt.Errorf("sparse: negative vector length %d", n)
 	}
-	return &Vector[T]{Len: n}
+	return &Vector[T]{Len: n}, nil
+}
+
+// MustVector is NewVector for lengths derived from existing shapes, which
+// cannot be negative. It panics on the error NewVector would return.
+func MustVector[T any](n int) *Vector[T] {
+	v, err := NewVector[T](n)
+	if err != nil {
+		//gas:invariant callers pass lengths derived from existing matrix shapes; see NewVector for the error-returning form
+		panic(err)
+	}
+	return v
 }
 
 // Append adds an (index, value) pair; duplicates are merged by Compact.
 func (v *Vector[T]) Append(i int, val T) {
 	if i < 0 || i >= v.Len {
+		//gas:invariant vector indices come from iteration over a matrix of the same logical length; out-of-range is a builder bug
 		panic(fmt.Sprintf("sparse: vector index %d out of range [0,%d)", i, v.Len))
 	}
 	v.Idx = append(v.Idx, i)

@@ -13,7 +13,7 @@ func plusI64() semiring.Monoid[int64] { return semiring.PlusInt64() }
 
 // randomCOO builds a random boolean COO matrix with the given density.
 func randomCOO(rng *rand.Rand, rows, cols int, density float64) *COO[bool] {
-	m := NewCOO[bool](rows, cols)
+	m := MustCOO[bool](rows, cols)
 	for i := 0; i < rows; i++ {
 		for j := 0; j < cols; j++ {
 			if rng.Float64() < density {
@@ -25,7 +25,7 @@ func randomCOO(rng *rand.Rand, rows, cols int, density float64) *COO[bool] {
 }
 
 func TestCOOAppendBounds(t *testing.T) {
-	m := NewCOO[int64](3, 4)
+	m := MustCOO[int64](3, 4)
 	m.Append(2, 3, 5)
 	if m.NNZ() != 1 {
 		t.Fatal("expected one entry")
@@ -38,17 +38,41 @@ func TestCOOAppendBounds(t *testing.T) {
 	m.Append(3, 0, 1)
 }
 
-func TestNewCOONegativePanics(t *testing.T) {
+func TestMustCOONegativePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic for negative shape")
 		}
 	}()
-	NewCOO[int64](-1, 2)
+	MustCOO[int64](-1, 2)
+}
+
+func TestConstructorsRejectNegativeShapes(t *testing.T) {
+	if _, err := NewCOO[int64](-1, 2); err == nil || err.Error() != "sparse: negative dimensions -1x2" {
+		t.Errorf("NewCOO(-1,2) error = %v", err)
+	}
+	if _, err := NewCOO[int64](1, -2); err == nil || err.Error() != "sparse: negative dimensions 1x-2" {
+		t.Errorf("NewCOO(1,-2) error = %v", err)
+	}
+	if _, err := NewDense[float64](2, -1); err == nil || err.Error() != "sparse: negative dense dimensions 2x-1" {
+		t.Errorf("NewDense(2,-1) error = %v", err)
+	}
+	if _, err := NewVector[int64](-5); err == nil || err.Error() != "sparse: negative vector length -5" {
+		t.Errorf("NewVector(-5) error = %v", err)
+	}
+	if m, err := NewCOO[int64](0, 0); err != nil || m == nil {
+		t.Errorf("NewCOO(0,0) = %v, %v; want empty matrix", m, err)
+	}
+	if d, err := NewDense[float64](2, 3); err != nil || d == nil || len(d.Data) != 6 {
+		t.Errorf("NewDense(2,3) = %v, %v", d, err)
+	}
+	if v, err := NewVector[int64](4); err != nil || v == nil || v.Len != 4 {
+		t.Errorf("NewVector(4) = %v, %v", v, err)
+	}
 }
 
 func TestCOOCompactMergesDuplicates(t *testing.T) {
-	m := NewCOO[int64](2, 2)
+	m := MustCOO[int64](2, 2)
 	m.Append(0, 0, 1)
 	m.Append(0, 0, 2)
 	m.Append(1, 1, 3)
@@ -64,7 +88,7 @@ func TestCOOCompactMergesDuplicates(t *testing.T) {
 }
 
 func TestCOOTranspose(t *testing.T) {
-	m := NewCOO[int64](2, 3)
+	m := MustCOO[int64](2, 3)
 	m.Append(0, 2, 5)
 	m.Append(1, 0, 7)
 	tr := m.Transpose()
@@ -81,7 +105,7 @@ func TestCOOTranspose(t *testing.T) {
 }
 
 func TestCOODensityAndNonEmptyRows(t *testing.T) {
-	m := NewCOO[bool](10, 10)
+	m := MustCOO[bool](10, 10)
 	m.Append(3, 1, true)
 	m.Append(3, 2, true)
 	m.Append(7, 0, true)
@@ -92,7 +116,7 @@ func TestCOODensityAndNonEmptyRows(t *testing.T) {
 	if len(rows) != 2 || rows[0] != 3 || rows[1] != 7 {
 		t.Errorf("NonEmptyRows = %v, want [3 7]", rows)
 	}
-	empty := NewCOO[bool](0, 0)
+	empty := MustCOO[bool](0, 0)
 	if empty.Density() != 0 {
 		t.Error("empty density should be 0")
 	}
@@ -138,7 +162,7 @@ func TestCSRCSCRoundTrip(t *testing.T) {
 }
 
 func TestCSCColNNZ(t *testing.T) {
-	m := NewCOO[bool](5, 3)
+	m := MustCOO[bool](5, 3)
 	m.Append(0, 0, true)
 	m.Append(1, 0, true)
 	m.Append(4, 2, true)
@@ -153,7 +177,7 @@ func TestCSCColNNZ(t *testing.T) {
 }
 
 func TestDenseBasics(t *testing.T) {
-	d := NewDense[int64](2, 3)
+	d := MustDense[int64](2, 3)
 	d.Set(1, 2, 9)
 	if d.At(1, 2) != 9 {
 		t.Error("Set/At mismatch")
@@ -171,7 +195,7 @@ func TestDenseBasics(t *testing.T) {
 	if d.At(0, 0) == 5 {
 		t.Error("Clone must be deep")
 	}
-	other := NewDense[int64](2, 3)
+	other := MustDense[int64](2, 3)
 	other.Set(0, 0, 2)
 	d.AddInto(other, plusI64())
 	if d.At(0, 0) != 2 {
@@ -180,7 +204,7 @@ func TestDenseBasics(t *testing.T) {
 }
 
 func TestDenseMapZip(t *testing.T) {
-	a := NewDense[int64](2, 2)
+	a := MustDense[int64](2, 2)
 	a.Set(0, 0, 3)
 	a.Set(1, 1, 4)
 	b := Map(a, func(v int64) float64 { return float64(v) * 2 })
@@ -194,8 +218,8 @@ func TestDenseMapZip(t *testing.T) {
 }
 
 func TestDenseShapePanics(t *testing.T) {
-	a := NewDense[int64](2, 2)
-	b := NewDense[int64](2, 3)
+	a := MustDense[int64](2, 2)
+	b := MustDense[int64](2, 3)
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic for shape mismatch")
@@ -205,7 +229,7 @@ func TestDenseShapePanics(t *testing.T) {
 }
 
 func TestVectorCompactGet(t *testing.T) {
-	v := NewVector[int64](100)
+	v := MustVector[int64](100)
 	v.Append(5, 1)
 	v.Append(3, 2)
 	v.Append(5, 3)
@@ -227,7 +251,7 @@ func TestVectorCompactGet(t *testing.T) {
 }
 
 func TestVectorAppendOutOfRange(t *testing.T) {
-	v := NewVector[int64](10)
+	v := MustVector[int64](10)
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic")
@@ -238,7 +262,7 @@ func TestVectorAppendOutOfRange(t *testing.T) {
 
 func TestGramTSmallKnown(t *testing.T) {
 	// Samples: X1 = {0,1,2}, X2 = {1,2,3}, X3 = {5}
-	m := NewCOO[int64](6, 3)
+	m := MustCOO[int64](6, 3)
 	for _, r := range []int{0, 1, 2} {
 		m.Append(r, 0, 1)
 	}
@@ -268,7 +292,7 @@ func TestGramTMatchesBruteForce(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		rows := 1 + rng.Intn(30)
 		cols := 1 + rng.Intn(10)
-		coo := NewCOO[int64](rows, cols)
+		coo := MustCOO[int64](rows, cols)
 		dense := make([][]int64, rows)
 		for i := range dense {
 			dense[i] = make([]int64, cols)
@@ -299,13 +323,13 @@ func TestGramTAccumulateEqualsSumOfBatches(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	rows, cols := 40, 8
 	coo := randomCOO(rng, rows, cols, 0.2)
-	cooInt := NewCOO[int64](rows, cols)
+	cooInt := MustCOO[int64](rows, cols)
 	for _, e := range coo.Entries {
 		cooInt.Append(e.Row, e.Col, 1)
 	}
 	full := GramT(CSCFromCOO(cooInt, plusI64()), semiring.PlusTimesInt64())
 
-	acc := NewDense[int64](cols, cols)
+	acc := MustDense[int64](cols, cols)
 	for lo := 0; lo < rows; lo += 10 {
 		hi := lo + 10
 		if hi > rows {
@@ -320,7 +344,7 @@ func TestGramTAccumulateEqualsSumOfBatches(t *testing.T) {
 }
 
 func TestColReduceRowReduce(t *testing.T) {
-	m := NewCOO[int64](4, 3)
+	m := MustCOO[int64](4, 3)
 	m.Append(0, 0, 1)
 	m.Append(1, 0, 1)
 	m.Append(2, 2, 1)
@@ -338,7 +362,7 @@ func TestColReduceRowReduce(t *testing.T) {
 
 func TestSpMV(t *testing.T) {
 	// A is 3x2: column 0 has rows {0,2}, column 1 has row {1}.
-	m := NewCOO[int64](3, 2)
+	m := MustCOO[int64](3, 2)
 	m.Append(0, 0, 1)
 	m.Append(2, 0, 1)
 	m.Append(1, 1, 1)
@@ -351,7 +375,7 @@ func TestSpMV(t *testing.T) {
 }
 
 func TestSpMVLengthPanics(t *testing.T) {
-	m := NewCOO[int64](3, 2)
+	m := MustCOO[int64](3, 2)
 	csc := CSCFromCOO(m, plusI64())
 	defer func() {
 		if recover() == nil {
@@ -367,8 +391,8 @@ func TestSpGEMMMatchesDense(t *testing.T) {
 		m, k, n := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
 		da := make([][]int64, m)
 		db := make([][]int64, k)
-		cooA := NewCOO[int64](m, k)
-		cooB := NewCOO[int64](k, n)
+		cooA := MustCOO[int64](m, k)
+		cooB := MustCOO[int64](k, n)
 		for i := range da {
 			da[i] = make([]int64, k)
 			for j := range da[i] {
@@ -411,8 +435,8 @@ func TestSpGEMMMatchesDense(t *testing.T) {
 }
 
 func TestSpGEMMDimensionPanics(t *testing.T) {
-	a := CSRFromCOO(NewCOO[int64](2, 3), plusI64())
-	b := CSRFromCOO(NewCOO[int64](4, 2), plusI64())
+	a := CSRFromCOO(MustCOO[int64](2, 3), plusI64())
+	b := CSRFromCOO(MustCOO[int64](4, 2), plusI64())
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic")
@@ -422,7 +446,7 @@ func TestSpGEMMDimensionPanics(t *testing.T) {
 }
 
 func TestFilterRows(t *testing.T) {
-	m := NewCOO[int64](10, 2)
+	m := MustCOO[int64](10, 2)
 	m.Append(2, 0, 1)
 	m.Append(5, 1, 1)
 	m.Append(9, 0, 1)
@@ -450,7 +474,7 @@ func TestFilterRowsPreservesGram(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		rows := 30 + rng.Intn(50)
 		cols := 2 + rng.Intn(8)
-		coo := NewCOO[int64](rows, cols)
+		coo := MustCOO[int64](rows, cols)
 		for i := 0; i < rows; i++ {
 			if rng.Float64() < 0.5 {
 				continue // leave many rows empty (hypersparse)
@@ -472,7 +496,7 @@ func TestFilterRowsPreservesGram(t *testing.T) {
 }
 
 func TestRowSlicePanics(t *testing.T) {
-	m := NewCOO[int64](5, 2)
+	m := MustCOO[int64](5, 2)
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic")
@@ -483,7 +507,7 @@ func TestRowSlicePanics(t *testing.T) {
 
 func TestRowSliceCoversAllRows(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	m := NewCOO[int64](27, 4)
+	m := MustCOO[int64](27, 4)
 	for i := 0; i < 27; i++ {
 		for j := 0; j < 4; j++ {
 			if rng.Float64() < 0.4 {
@@ -505,8 +529,8 @@ func TestRowSliceCoversAllRows(t *testing.T) {
 }
 
 func TestEqualShapeMismatch(t *testing.T) {
-	a := NewDense[int64](2, 2)
-	b := NewDense[int64](2, 3)
+	a := MustDense[int64](2, 2)
+	b := MustDense[int64](2, 3)
 	if Equal(a, b, func(x, y int64) bool { return x == y }) {
 		t.Error("different shapes must not be equal")
 	}

@@ -38,6 +38,7 @@ func (r *RNG) Float64() float64 {
 // Intn returns a uniform value in [0, n). n must be positive.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
+		//gas:invariant documented RNG contract: n must be positive; all callers pass literals or validated config values
 		panic(fmt.Sprintf("synth: Intn(%d)", n))
 	}
 	return int(r.Uint64() % uint64(n))
@@ -46,6 +47,7 @@ func (r *RNG) Intn(n int) int {
 // Uint64n returns a uniform value in [0, n). n must be positive.
 func (r *RNG) Uint64n(n uint64) uint64 {
 	if n == 0 {
+		//gas:invariant documented RNG contract: n must be positive; all callers pass literals or validated config values
 		panic("synth: Uint64n(0)")
 	}
 	return r.Uint64() % n
@@ -166,6 +168,7 @@ func Generate(cfg Config) (*core.InMemoryDataset, error) {
 func MustGenerate(cfg Config) *core.InMemoryDataset {
 	ds, err := Generate(cfg)
 	if err != nil {
+		//gas:invariant documented Must helper for benchmarks and examples; Generate is the checked path
 		panic(err)
 	}
 	return ds

@@ -103,9 +103,9 @@ func NewCollect() *Collect { return &Collect{} }
 func (c *Collect) Start(n int, names []string) error {
 	c.n = n
 	c.names = append([]string(nil), names...)
-	c.b = sparse.NewDense[int64](n, n)
-	c.s = sparse.NewDense[float64](n, n)
-	c.d = sparse.NewDense[float64](n, n)
+	c.b = sparse.MustDense[int64](n, n)
+	c.s = sparse.MustDense[float64](n, n)
+	c.d = sparse.MustDense[float64](n, n)
 	return nil
 }
 
@@ -202,6 +202,7 @@ type TopKSink struct {
 // NewTopK returns a sink retaining the k best pairs; k must be positive.
 func NewTopK(k int) *TopKSink {
 	if k <= 0 {
+		//gas:invariant k is validated positive by the options layer before a sink is built; this guards direct API misuse
 		panic(fmt.Sprintf("tile: TopK requires a positive k, got %d", k))
 	}
 	return &TopKSink{k: k}
